@@ -1,0 +1,70 @@
+package main
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/games"
+)
+
+func TestParseGraphBasic(t *testing.T) {
+	names, labels, diag := parseGraph("b-a:c,a-c:x", "a")
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Fatalf("names %v", names)
+	}
+	// a-b colocate, a-c exclusive, b-c defaulted exclusive.
+	if labels[0][1] != games.Colocate || labels[1][0] != games.Colocate {
+		t.Fatal("a-b should colocate")
+	}
+	if labels[0][2] != games.Exclusive || labels[1][2] != games.Exclusive {
+		t.Fatal("a-c and b-c should be exclusive")
+	}
+	if !diag[0] || diag[1] || diag[2] {
+		t.Fatalf("diag %v: only a is caching", diag)
+	}
+}
+
+func TestParseGraphWhitespaceAndEmpties(t *testing.T) {
+	names, labels, _ := parseGraph(" x-y:C , ,y-z:X ", "")
+	if len(names) != 3 {
+		t.Fatalf("names %v", names)
+	}
+	// Labels are case-insensitive.
+	ix := index(names, "x")
+	iy := index(names, "y")
+	if labels[ix][iy] != games.Colocate {
+		t.Fatal("x-y should colocate")
+	}
+}
+
+func index(names []string, want string) int {
+	for i, n := range names {
+		if n == want {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestBuildGameStructure(t *testing.T) {
+	names, labels, diag := parseGraph("a-b:c,a-c:x,b-c:x", "c")
+	g := buildGame(len(names), labels, diag)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Uniform over all n² ordered pairs including the diagonal.
+	if math.Abs(g.Prob[0][0]-1.0/9) > 1e-12 {
+		t.Fatalf("prob %v", g.Prob[0][0])
+	}
+	ia, ib, ic := index(names, "a"), index(names, "b"), index(names, "c")
+	if g.Parity[ia][ib] != 0 {
+		t.Fatal("a-b colocate should have parity 0")
+	}
+	if g.Parity[ia][ic] != 1 {
+		t.Fatal("a-c exclusive should have parity 1")
+	}
+	// Diagonal: only c is caching.
+	if g.Parity[ic][ic] != 0 || g.Parity[ia][ia] != 1 {
+		t.Fatal("diagonal parities wrong")
+	}
+}

@@ -1,0 +1,72 @@
+// Command certify runs the Bell-certification acceptance test a deployment
+// would run against its quantum NICs before trusting them: estimate the
+// CHSH S-value from black-box rounds, compare against the classical bound
+// (S ≤ 2) and the Tsirelson bound (S ≤ 2√2), and recover the effective
+// visibility. Simulated hardware at several noise levels stands in for real
+// QNICs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/games"
+	"repro/internal/report"
+	"repro/internal/xrand"
+)
+
+func main() {
+	rounds := flag.Int("rounds", 50000, "rounds per measurement setting")
+	seed := flag.Uint64("seed", 6, "random seed")
+	z := flag.Float64("z", 3, "standard errors required for a verdict")
+	flag.Parse()
+
+	rng := xrand.New(*seed, 0)
+	g := games.NewCHSH()
+	q := g.QuantumValue(rng)
+
+	fmt.Printf("=== Bell certification (CHSH S-value), %d rounds/setting, %gσ verdicts ===\n",
+		*rounds, *z)
+	fmt.Printf("classical bound S=2; Tsirelson bound S=2√2=%.4f\n\n", games.TsirelsonBound)
+
+	t := report.NewTable("", "device", "S", "±SE", "S>2?", "≤2√2?", "visibility(est)", "visibility(true)")
+	devices := []struct {
+		name string
+		s    games.JointSampler
+		vis  float64
+	}{
+		{"perfect-bell", q.QuantumSampler(1.0), 1.0},
+		{"good-spdc(V=0.95)", q.QuantumSampler(0.95), 0.95},
+		{"noisy-spdc(V=0.80)", q.QuantumSampler(0.80), 0.80},
+		{"critical(V=1/sqrt2)", q.QuantumSampler(1 / math.Sqrt2), 1 / math.Sqrt2},
+		{"classical-impostor", g.BestClassicalSampler(), math.NaN()},
+	}
+	for _, d := range devices {
+		cert := games.CertifyCHSH(d.s, *rounds, rng)
+		trueVis := "—"
+		if !math.IsNaN(d.vis) {
+			trueVis = fmt.Sprintf("%.4f", d.vis)
+		}
+		t.AddRow(d.name,
+			fmt.Sprintf("%.4f", cert.S),
+			fmt.Sprintf("%.4f", cert.SE),
+			verdict(cert.ViolatesClassicalBound(*z)),
+			verdict(cert.WithinTsirelson(*z)),
+			fmt.Sprintf("%.4f", games.VisibilityFromS(cert.S)),
+			trueVis)
+	}
+	t.WriteText(os.Stdout)
+
+	fmt.Println("\nonly genuinely entangled devices clear S > 2; the classical impostor")
+	fmt.Println("sits exactly at the bound, and nothing exceeds 2√2 — quantum mechanics")
+	fmt.Println("itself is the upper bound (Tsirelson), verified by the simulator")
+}
+
+func verdict(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "NO"
+}

@@ -1,0 +1,67 @@
+// Command latency regenerates experiment E4 (the paper's Figure 2 timing
+// argument) and E7 (entanglement supply): decision latency and coordination
+// quality for three architectures — local classical (instant, win 0.75),
+// quantum pre-shared (QNIC-measurement latency, win up to cos²(π/8)), and
+// coordinated classical (full fiber RTT, win 1.0) — and how the quantum
+// architecture degrades when request rate outstrips the pair supply.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	distance := flag.Float64("distance", 100_000, "server separation in meters of fiber")
+	rate := flag.Float64("rate", 10_000, "request rate per second")
+	rounds := flag.Int("rounds", 20000, "coordination rounds")
+	pairRate := flag.Float64("pair-rate", 1e5, "SPDC pair generation rate per second")
+	supply := flag.Bool("supply", false, "run the E7 supply sweep instead of the single comparison")
+	seed := flag.Uint64("seed", 5, "random seed")
+	flag.Parse()
+
+	cfg := core.DefaultTimingConfig()
+	cfg.DistanceM = *distance
+	cfg.RequestRate = *rate
+	cfg.Rounds = *rounds
+	cfg.Source.PairRate = *pairRate
+	cfg.Seed = *seed
+
+	if *supply {
+		runSupplySweep(cfg)
+		return
+	}
+
+	fmt.Printf("=== E4 / Figure 2: decision latency vs coordination quality ===\n")
+	fmt.Printf("servers %.0f km apart (one-way %.0f µs), %g req/s, %g pairs/s\n\n",
+		cfg.DistanceM/1000, cfg.DistanceM/2e8*1e6, cfg.RequestRate, cfg.Source.PairRate)
+	rows := core.RunTiming(cfg)
+	fmt.Print(core.ParetoSummary(rows))
+	fmt.Println("\nthe quantum point expands the Pareto frontier: sub-RTT latency with")
+	fmt.Println("correlation quality no classical zero-communication scheme can reach")
+}
+
+func runSupplySweep(base core.TimingConfig) {
+	fmt.Println("=== E7: entanglement supply vs demand ===")
+	fmt.Printf("pair rate fixed at %g/s; sweeping request rate\n\n", base.Source.PairRate)
+	fmt.Println("req/s      quantum-fraction   win-rate   (expected: fraction ≈ min(1, supply/demand))")
+	for _, mult := range []float64{0.25, 0.5, 1, 2, 4, 8} {
+		cfg := base
+		cfg.RequestRate = base.Source.PairRate * mult
+		// Keep runtime bounded at high rates.
+		cfg.Rounds = base.Rounds
+		rows := core.RunTiming(cfg)
+		for _, r := range rows {
+			if r.Architecture != "quantum-pre-shared" {
+				continue
+			}
+			fmt.Printf("%-9.0f  %.3f              %.4f\n",
+				cfg.RequestRate, r.QuantumFraction, r.WinRate.Rate())
+		}
+	}
+	fmt.Println("\nwhen demand exceeds supply the session falls back classically for the")
+	fmt.Println("shortfall: win rate interpolates between 0.854 and 0.75, never below —")
+	fmt.Println("entanglement shortage degrades correlation quality, not correctness")
+}

@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestParseLoads(t *testing.T) {
+	loads := parseLoads("0.5, 1.0 ,1.25")
+	if len(loads) != 3 || loads[0] != 0.5 || loads[1] != 1.0 || loads[2] != 1.25 {
+		t.Fatalf("loads %v", loads)
+	}
+}
+
+func TestParseLoadsRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"abc", "1.0,-2", "0"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for %q", bad)
+				}
+			}()
+			parseLoads(bad)
+		}()
+	}
+}

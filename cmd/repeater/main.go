@@ -1,0 +1,80 @@
+// Command repeater explores the quantum-network side of the architecture
+// (§3's fiber links, refs [62, 15]): when does a chain of entanglement-
+// swapping repeaters beat a single long fiber run, how does visibility
+// compound across swaps, and how long a chain can stay above the CHSH
+// critical visibility (1/√2) that the whole load-balancing advantage
+// depends on.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/entangle"
+	"repro/internal/report"
+)
+
+func main() {
+	bsm := flag.Float64("bsm", 0.5, "Bell-state measurement success probability (linear optics: 0.5)")
+	vis := flag.Float64("visibility", 0.98, "per-segment pair visibility")
+	flag.Parse()
+
+	src := entangle.DefaultSource()
+	src.BaseVisibility = *vis
+
+	fmt.Println("=== repeater chains vs direct transmission ===")
+	fmt.Printf("source: %g pairs/s, visibility %.3f, fiber %.1f dB/km, BSM success %.2f\n\n",
+		src.PairRate, src.BaseVisibility, src.AttenuationDBPerKm, *bsm)
+
+	t := report.NewTable("end-to-end rate (pairs/s) by total distance and segment count",
+		"distance", "direct", "2 segments", "4 segments", "8 segments", "best")
+	for _, km := range []float64{20, 50, 100, 200, 400, 800} {
+		total := km * 1000
+		direct := rateFor(src, total, 1, *bsm)
+		r2 := rateFor(src, total, 2, *bsm)
+		r4 := rateFor(src, total, 4, *bsm)
+		r8 := rateFor(src, total, 8, *bsm)
+		best := "direct"
+		bestRate := direct
+		for _, c := range []struct {
+			n    int
+			rate float64
+		}{{2, r2}, {4, r4}, {8, r8}} {
+			if c.rate > bestRate {
+				bestRate = c.rate
+				best = fmt.Sprintf("%d segments", c.n)
+			}
+		}
+		t.AddRow(fmt.Sprintf("%.0f km", km),
+			sci(direct), sci(r2), sci(r4), sci(r8), best)
+	}
+	t.WriteText(os.Stdout)
+
+	cross := entangle.CrossoverSegments(src, 300_000, *bsm, 16)
+	fmt.Printf("\ncrossover at 300 km: the first winning chain uses %d segments\n", cross)
+
+	fmt.Println("\n--- visibility budget across swaps (V_e2e = V^segments) ---")
+	crit := 1 / math.Sqrt2
+	maxSeg := int(math.Log(crit) / math.Log(*vis))
+	fmt.Printf("per-segment V=%.3f: up to %d segments stay above the CHSH-critical 1/√2\n",
+		*vis, maxSeg)
+
+	f, veff := entangle.SwapWernerPairs(*vis, *vis)
+	fmt.Printf("\nexact-simulator check: swapping two Werner(%.3f) pairs gives fidelity %.5f,\n", *vis, f)
+	fmt.Printf("effective visibility %.5f (analytic law V₁·V₂ = %.5f)\n", veff, *vis**vis)
+}
+
+func rateFor(src entangle.SourceConfig, totalM float64, segments int, bsm float64) float64 {
+	c := entangle.RepeaterChain{Segments: segments, Source: src, BSMSuccess: bsm}
+	c.Source.FiberLengthM = totalM / float64(2*segments)
+	return c.EndToEndRate()
+}
+
+func sci(v float64) string {
+	if v >= 0.1 {
+		return fmt.Sprintf("%.1f", v)
+	}
+	return fmt.Sprintf("%.2e", v)
+}

@@ -1,0 +1,62 @@
+// ECMP routing: the paper's negative result (§4.2). Switches spraying
+// packets across equal-cost paths CANNOT benefit from entanglement, because
+// only an unknown subset of switches is active and a switch's measurement
+// cannot depend on who else has traffic. This example shows quantum
+// candidates matching — never beating — the best classical scheme.
+//
+//	go run ./examples/ecmp-routing
+package main
+
+import (
+	"fmt"
+
+	ftlq "repro"
+	"repro/internal/ecmp"
+	"repro/internal/xrand"
+)
+
+func main() {
+	cfg := ftlq.ECMPConfig{
+		NumSwitches: 8,
+		NumPaths:    2,
+		ActiveK:     2,
+		Rounds:      100_000,
+		Seed:        13,
+	}
+	fmt.Printf("%d top-of-rack switches, %d equal-cost uplinks, %d active per window\n\n",
+		cfg.NumSwitches, cfg.NumPaths, cfg.ActiveK)
+
+	fmt.Println("strategy                        E[colliding pairs]")
+	for _, s := range []ftlq.PathStrategy{
+		ecmp.IndependentRandom{},                   // production ECMP hashing
+		ecmp.SharedPermutation{},                   // best classical, shared randomness
+		ecmp.PairwiseAntiCorrelated{Visibility: 1}, // Bell pairs between switch pairs
+	} {
+		r := ftlq.RunECMP(cfg, s)
+		fmt.Printf("%-30s  %.4f ± %.4f\n", r.Strategy, r.Collisions.Mean(), r.Collisions.CI95())
+	}
+
+	best := ftlq.ECMPBestClassical(cfg.NumSwitches, cfg.NumPaths, cfg.ActiveK)
+	fmt.Printf("\nproved classical optimum: %.4f\n", best)
+
+	rng := xrand.New(13, 1)
+	q := ecmp.QuantumSearchBestCollisions(cfg.NumSwitches, cfg.ActiveK, 300, rng)
+	fmt.Printf("best of 300 arbitrary quantum strategies: %.4f (pigeonhole bound %.4f)\n",
+		q, ecmp.PigeonholeLowerBound(cfg.NumSwitches, cfg.NumPaths, cfg.ActiveK))
+
+	rep := ecmp.StandardReductionDemo()
+	fmt.Printf("\nreduction demo (GHZ & W states): marginal shift %.1e, mixture error %.1e\n",
+		rep.MaxMarginalShift, rep.MixtureError)
+
+	fmt.Println(`
+why entanglement cannot help here (paper §4.2):
+  1. a switch cannot know which others are active, so its measurement basis
+     is fixed — there is effectively no "input" to play a non-local game on;
+  2. by no-signaling, an inactive party may as well have measured already,
+     collapsing any global entanglement to pairwise mixtures (demonstrated
+     above at machine precision);
+  3. with no inputs, every achievable outcome distribution is classical
+     (shared randomness), so the pigeonhole bound binds quantum too.
+contrast with application-level load balancing, where every party's output
+matters on every input — that asymmetry is the paper's "lesson learned".`)
+}

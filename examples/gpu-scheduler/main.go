@@ -1,0 +1,52 @@
+// GPU scheduler: the paper's introduction motivates quantum-correlated load
+// balancing with GPUs — "map requests referencing the same texture or
+// memory region to the same Streaming Multiprocessor (SM) to maximize data
+// locality, while distributing unrelated requests across SMs."
+//
+// This example runs the Figure 4 queueing simulation dressed in that story:
+// dispatchers route kernels to SMs; kernels touching a shared texture
+// (type-C) batch efficiently on one SM, while exclusive kernels (type-E)
+// want an SM to themselves.
+//
+//	go run ./examples/gpu-scheduler
+package main
+
+import (
+	"fmt"
+
+	ftlq "repro"
+	"repro/internal/loadbalance"
+	"repro/internal/workload"
+)
+
+func main() {
+	const dispatchers = 64 // balancer pairs share entangled qubits
+
+	fmt.Println("GPU kernel dispatch: 64 dispatchers → SMs, texture-sharing kernels")
+	fmt.Println("want colocation, exclusive kernels want isolation")
+	fmt.Println()
+	fmt.Printf("%-10s %-22s %-22s %-10s\n", "SMs", "random dispatch", "entangled dispatch", "speedup")
+
+	for _, sms := range []int{100, 72, 64, 58, 53} {
+		cfg := ftlq.LBConfig{
+			NumBalancers: dispatchers,
+			NumServers:   sms,
+			Warmup:       2000,
+			Slots:        12000,
+			Discipline:   loadbalance.BatchCFirst,
+			Workload:     workload.Bernoulli{PC: 0.5},
+			Seed:         7,
+		}
+		classical := ftlq.RunLB(cfg, ftlq.NewRandomLB())
+		quantum := ftlq.RunLB(cfg, ftlq.NewQuantumLB(0.95, 7))
+
+		speedup := classical.Delay.Mean() / quantum.Delay.Mean()
+		fmt.Printf("%-10d delay %6.2f slots     delay %6.2f slots     %.2fx\n",
+			sms, classical.Delay.Mean(), quantum.Delay.Mean(), speedup)
+	}
+
+	fmt.Println()
+	fmt.Println("entangled dispatchers colocate texture-sharing kernels without any")
+	fmt.Println("inter-dispatcher communication; the win grows as the SM pool shrinks")
+	fmt.Println("toward saturation (the Figure 4 knee), exactly where schedulers hurt most")
+}

@@ -1,0 +1,53 @@
+// Quickstart: share entanglement between two parties, play the colocation
+// CHSH game, and watch the win rate beat the best possible classical
+// zero-communication strategy.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	ftlq "repro"
+)
+
+func main() {
+	// The coordination objective: two load balancers should pick the SAME
+	// server exactly when both hold colocation-loving (type-C) tasks.
+	game := ftlq.NewColocationCHSH()
+
+	// An idealized entanglement supply: one Bell pair per decision at 98%
+	// visibility (a realistic fresh-from-the-SPDC-source figure).
+	session, err := ftlq.NewSession(ftlq.SessionConfig{
+		Game:     game,
+		Supplier: ftlq.PerfectSupplier{Visibility: 0.98},
+		QNIC:     ftlq.DefaultQNIC(),
+		Seed:     1,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("game: %s\n", game.Name)
+	fmt.Printf("best classical win rate (proved optimal): %.4f\n", session.ClassicalValue())
+	fmt.Printf("quantum win rate (Tsirelson optimal):     %.4f\n", session.QuantumValue())
+	fmt.Printf("critical visibility:                      %.4f\n\n", session.CriticalVis())
+
+	// Play 100k coordination rounds, one microsecond apart.
+	st := session.PlayReferee(100_000, 0, time.Microsecond)
+
+	lo, hi := st.Wins.Wilson95()
+	fmt.Printf("rounds played:     %d (quantum: %d, fallback: %d)\n",
+		st.Rounds, st.QuantumRounds, st.FallbackRounds)
+	fmt.Printf("measured win rate: %.4f  [%.4f, %.4f]\n", st.Wins.Rate(), lo, hi)
+	fmt.Printf("mean visibility:   %.4f\n\n", st.Visibility.Mean())
+
+	if lo > session.ClassicalValue() {
+		fmt.Println("→ the measured rate exceeds the classical optimum with 95% confidence:")
+		fmt.Println("  the two parties are coordinating better than ANY classical")
+		fmt.Println("  zero-communication scheme could — with zero messages exchanged.")
+	} else {
+		fmt.Println("→ not significantly above classical (noise too high or too few rounds)")
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/entangle"
+	"repro/internal/games"
+	"repro/internal/xrand"
+)
+
+// Cluster manages coordination for a whole fleet: N nodes are paired into
+// N/2 sessions that share one entanglement supply (the central source of
+// Figure 1 feeds every QNIC). Per decision slot the cluster takes every
+// node's local input and returns every node's decision — the multi-balancer
+// view the load-balancing experiments need, built on the same Session
+// machinery.
+type Cluster struct {
+	game     *games.XORGame
+	sessions []*Session
+	// pairOf[i] = (session index, side) for node i.
+	numNodes int
+}
+
+// ClusterConfig assembles a Cluster.
+type ClusterConfig struct {
+	// Game is the per-pair coordination objective.
+	Game *games.XORGame
+	// NumNodes is the fleet size; must be even (pair the odd node with a
+	// classical-only shim upstream if needed).
+	NumNodes int
+	// Supplier is shared by every session: pairs are handed out first come,
+	// first served within a slot.
+	Supplier entangle.Supplier
+	QNIC     entangle.QNICConfig
+	Seed     uint64
+}
+
+// NewCluster builds the fleet: node 2k pairs with node 2k+1.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.NumNodes < 2 || cfg.NumNodes%2 != 0 {
+		return nil, fmt.Errorf("core: cluster needs an even node count ≥ 2, got %d", cfg.NumNodes)
+	}
+	if cfg.Game == nil || cfg.Supplier == nil {
+		return nil, fmt.Errorf("core: cluster needs a game and a supplier")
+	}
+	c := &Cluster{game: cfg.Game, numNodes: cfg.NumNodes}
+	// Solve the game once; clone per-session samplers with split seeds.
+	base := xrand.New(cfg.Seed, 0xc1)
+	for k := 0; k < cfg.NumNodes/2; k++ {
+		s, err := NewSession(Config{
+			Game:     cfg.Game,
+			Supplier: cfg.Supplier,
+			QNIC:     cfg.QNIC,
+			Seed:     base.Uint64(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.sessions = append(c.sessions, s)
+	}
+	return c, nil
+}
+
+// NumNodes returns the fleet size.
+func (c *Cluster) NumNodes() int { return c.numNodes }
+
+// Decide coordinates one slot: inputs[i] is node i's local input; the
+// returned slice holds node i's decision bit. Pairs are (0,1), (2,3), ….
+func (c *Cluster) Decide(now time.Duration, inputs []int) []int {
+	if len(inputs) != c.numNodes {
+		panic(fmt.Sprintf("core: cluster got %d inputs for %d nodes", len(inputs), c.numNodes))
+	}
+	out := make([]int, c.numNodes)
+	for k, s := range c.sessions {
+		d := s.Round(now, inputs[2*k], inputs[2*k+1])
+		out[2*k] = d.A
+		out[2*k+1] = d.B
+	}
+	return out
+}
+
+// Stats aggregates all sessions' statistics.
+func (c *Cluster) Stats() Stats {
+	var agg Stats
+	for _, s := range c.sessions {
+		st := s.Stats()
+		agg.Rounds += st.Rounds
+		agg.QuantumRounds += st.QuantumRounds
+		agg.FallbackRounds += st.FallbackRounds
+		agg.Wins.AddBatch(st.Wins.Successes(), st.Wins.Trials())
+		agg.Visibility.Merge(&st.Visibility)
+	}
+	return agg
+}
+
+// SessionStats exposes per-pair statistics for fairness inspection: with a
+// shared supply, early sessions in the slot order could starve later ones;
+// the test suite checks the spread.
+func (c *Cluster) SessionStats() []Stats {
+	out := make([]Stats, len(c.sessions))
+	for i, s := range c.sessions {
+		out[i] = s.Stats()
+	}
+	return out
+}
+
+// FairnessSpread returns the max−min quantum-round fraction across
+// sessions — 0 is perfectly fair.
+func (c *Cluster) FairnessSpread() float64 {
+	lo, hi := 1.0, 0.0
+	for _, s := range c.sessions {
+		st := s.Stats()
+		if st.Rounds == 0 {
+			continue
+		}
+		f := float64(st.QuantumRounds) / float64(st.Rounds)
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}

@@ -1,0 +1,196 @@
+// Package core packages the paper's contribution as the system-level
+// abstraction its conclusion calls for: "primitives … packaged in
+// system-level abstractions that systems designers can adopt without
+// needing to understand the underlying quantum mechanics."
+//
+// A Session binds together
+//
+//   - a non-local game (the coordination objective — e.g. the colocation
+//     CHSH game for affinity-aware load balancing),
+//   - an entanglement Supplier (the Figure 1 substrate: SPDC source, fiber,
+//     QNIC pools), and
+//   - a classical fallback strategy,
+//
+// and then answers one question per round: given the two parties' local
+// inputs, what should each decide *right now*, with zero communication?
+// When the supply is dry, or so noisy that the quantum strategy would lose
+// to the best classical one, the session transparently falls back —
+// correlation quality degrades, correctness and latency never do.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/entangle"
+	"repro/internal/games"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Config assembles a Session.
+type Config struct {
+	// Game is the coordination objective. Required.
+	Game *games.XORGame
+	// Supplier provides entangled pairs. Required (use
+	// entangle.PerfectSupplier for idealized studies).
+	Supplier entangle.Supplier
+	// QNIC models decision latency; zero value means instantaneous
+	// measurement.
+	QNIC entangle.QNICConfig
+	// Seed drives all of the session's randomness.
+	Seed uint64
+}
+
+// Mode records how a round was decided.
+type Mode int
+
+const (
+	// ModeQuantum means an entangled pair was consumed.
+	ModeQuantum Mode = iota
+	// ModeFallback means the classical fallback answered (pool dry or
+	// visibility below the advantage threshold).
+	ModeFallback
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeQuantum {
+		return "quantum"
+	}
+	return "fallback"
+}
+
+// Decision is the outcome of one coordination round.
+type Decision struct {
+	A, B       int
+	Mode       Mode
+	Visibility float64 // pair visibility used (0 in fallback mode)
+	// Latency is the local decision latency: QNIC measurement time for
+	// quantum rounds, ~0 for the classical fallback. Crucially it never
+	// includes a network round trip — that is the paper's whole point
+	// (Figure 2).
+	Latency time.Duration
+}
+
+// Stats aggregates a session's history.
+type Stats struct {
+	Rounds         int64
+	QuantumRounds  int64
+	FallbackRounds int64
+	// Wins tracks game-win rate over all rounds.
+	Wins stats.Proportion
+	// Visibility tracks consumed pairs' visibility.
+	Visibility stats.Welford
+}
+
+// Session coordinates two parties through a shared game and entanglement
+// supply. Sessions are not safe for concurrent use; the simulations that
+// drive them are single-threaded and deterministic.
+type Session struct {
+	cfg      Config
+	rng      *xrand.RNG
+	quantum  *games.XORQuantumSampler
+	fallback games.JointSampler
+	// critVisibility is the visibility below which the quantum strategy no
+	// longer beats the classical fallback; the session then prefers the
+	// fallback even when a pair is available.
+	critVisibility float64
+	classicalValue float64
+	quantumValue   float64
+	st             Stats
+}
+
+// NewSession computes the game's optimal quantum and classical strategies
+// and returns a ready session.
+func NewSession(cfg Config) (*Session, error) {
+	if cfg.Game == nil {
+		return nil, fmt.Errorf("core: Config.Game is required")
+	}
+	if err := cfg.Game.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Supplier == nil {
+		return nil, fmt.Errorf("core: Config.Supplier is required")
+	}
+	rng := xrand.New(cfg.Seed, 0xc0de)
+	c := cfg.Game.ClassicalValue()
+	q := cfg.Game.QuantumValue(rng)
+	s := &Session{
+		cfg:            cfg,
+		rng:            rng,
+		quantum:        q.QuantumSampler(1.0),
+		fallback:       &games.DeterministicSampler{A: c.A, B: c.B},
+		critVisibility: CriticalVisibility(c.Value, q.Value),
+		classicalValue: c.Value,
+		quantumValue:   q.Value,
+	}
+	return s, nil
+}
+
+// CriticalVisibility returns the Werner visibility V* at which a quantum
+// strategy with noiseless value q degrades to the classical value c:
+// V·q + (1−V)/2 = c ⇒ V* = (c − ½)/(q − ½). For CHSH this is 1/√2 ≈ 0.707.
+// If the game has no quantum advantage (q ≤ c), it returns 1 — the session
+// will always prefer the classical strategy.
+func CriticalVisibility(classical, quantum float64) float64 {
+	if quantum <= classical {
+		return 1
+	}
+	return (classical - 0.5) / (quantum - 0.5)
+}
+
+// ClassicalValue returns the game's exact classical value.
+func (s *Session) ClassicalValue() float64 { return s.classicalValue }
+
+// QuantumValue returns the game's exact quantum value.
+func (s *Session) QuantumValue() float64 { return s.quantumValue }
+
+// CriticalVis returns the session's fallback threshold.
+func (s *Session) CriticalVis() float64 { return s.critVisibility }
+
+// Round coordinates one decision at simulated time now with party inputs x
+// and y. Each party's answer depends only on its own input and the shared
+// (pre-distributed) resources — the joint sampling here is the testbed
+// shortcut the paper's conclusion licenses for controlled studies.
+func (s *Session) Round(now time.Duration, x, y int) Decision {
+	s.st.Rounds++
+	var d Decision
+	if vis, ok := s.cfg.Supplier.TryConsume(now); ok && vis > s.critVisibility {
+		s.quantum.Visibility = vis
+		a, b := s.quantum.Sample(x, y, s.rng)
+		d = Decision{A: a, B: b, Mode: ModeQuantum, Visibility: vis, Latency: s.cfg.QNIC.MeasureLatency}
+		s.st.QuantumRounds++
+		s.st.Visibility.Add(vis)
+	} else {
+		a, b := s.fallback.Sample(x, y, s.rng)
+		d = Decision{A: a, B: b, Mode: ModeFallback}
+		s.st.FallbackRounds++
+	}
+	s.st.Wins.Add(s.cfg.Game.Wins(x, y, d.A, d.B))
+	return d
+}
+
+// PlayReferee drives `rounds` full game rounds with referee-drawn inputs at
+// a fixed simulated time step per round, returning the final stats — the
+// quickest way to validate a deployment's effective win rate.
+func (s *Session) PlayReferee(rounds int, start, step time.Duration) Stats {
+	now := start
+	for i := 0; i < rounds; i++ {
+		x, y := s.cfg.Game.SampleInput(s.rng)
+		s.Round(now, x, y)
+		now += step
+	}
+	return s.st
+}
+
+// Stats returns the session's accumulated statistics.
+func (s *Session) Stats() Stats { return s.st }
+
+// ExpectedWinRate predicts the session's long-run win rate given the
+// fraction of rounds served quantum at mean visibility v̄:
+// f·(v̄·q + (1−v̄)/2) + (1−f)·c. Used to cross-check measurements.
+func (s *Session) ExpectedWinRate(quantumFraction, meanVisibility float64) float64 {
+	qv := meanVisibility*s.quantumValue + (1-meanVisibility)/2
+	return quantumFraction*qv + (1-quantumFraction)*s.classicalValue
+}

@@ -1,0 +1,287 @@
+package ecmp
+
+import (
+	"math"
+
+	"repro/internal/qsim"
+	"repro/internal/xrand"
+)
+
+// This file carries the exact side of §4.2: the classical optimum by
+// enumeration, the pigeonhole lower bound that any strategy — classical or
+// quantum — must respect, and a quantum search that numerically supports
+// the paper's conjecture by failing (as it must) to beat the bound.
+
+// pairActiveProb returns the probability a specific pair of switches is
+// simultaneously active when exactly k of n are activated uniformly:
+// C(n−2, k−2)/C(n, k) = k(k−1)/(n(n−1)).
+func pairActiveProb(n, k int) float64 {
+	if k < 2 {
+		return 0
+	}
+	return float64(k*(k-1)) / float64(n*(n-1))
+}
+
+// MinMonochromaticPairs returns the minimum number of same-path pairs over
+// all assignments of n switches to m paths — achieved by the balanced
+// partition (pigeonhole): with q = n/m and r = n mod m,
+// r·C(q+1, 2) + (m−r)·C(q, 2).
+func MinMonochromaticPairs(n, m int) int {
+	q, r := n/m, n%m
+	return r*(q+1)*q/2 + (m-r)*q*(q-1)/2
+}
+
+// ExactBestClassical returns the minimum expected number of colliding pairs
+// per round achievable by ANY classical strategy (shared randomness
+// included), with exactly k of n switches active uniformly at random and m
+// paths.
+//
+// Derivation: a deterministic strategy is an assignment f: switches → paths
+// (an inactive switch's choice is irrelevant, and an active switch learns
+// nothing about the others, so per-switch randomization cannot beat the
+// best deterministic assignment — expectation is linear and shared
+// randomness is a mixture of deterministic assignments). Expected collisions
+// = Σ_{f(i)=f(j)} P(i,j both active) = pairActiveProb · #monochromatic
+// pairs, minimized by the balanced assignment.
+func ExactBestClassical(n, m, k int) float64 {
+	return pairActiveProb(n, k) * float64(MinMonochromaticPairs(n, m))
+}
+
+// ExactBestClassicalEnumerated cross-checks ExactBestClassical by brute
+// force over all m^n assignments. Panics if the search space exceeds ~16M.
+func ExactBestClassicalEnumerated(n, m, k int) float64 {
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= m
+		if total > 1<<24 {
+			panic("ecmp: enumeration too large")
+		}
+	}
+	p2 := pairActiveProb(n, k)
+	best := math.Inf(1)
+	assign := make([]int, n)
+	for code := 0; code < total; code++ {
+		c := code
+		for i := 0; i < n; i++ {
+			assign[i] = c % m
+			c /= m
+		}
+		mono := 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if assign[i] == assign[j] {
+					mono++
+				}
+			}
+		}
+		if v := p2 * float64(mono); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// QuantumCandidate is a fully general no-input quantum strategy for binary
+// path choice: an arbitrary n-qubit pure state with an arbitrary per-switch
+// measurement basis. (Since a switch's basis cannot depend on the active
+// set, one basis per switch is fully general — this is exactly the paper's
+// "lesson learned".)
+type QuantumCandidate struct {
+	State *qsim.State
+	Bases []qsim.Basis
+}
+
+// RandomQuantumCandidate draws a Haar-ish random state and random bases.
+func RandomQuantumCandidate(n int, rng *xrand.RNG) QuantumCandidate {
+	amp := make([]complex128, 1<<n)
+	for i := range amp {
+		amp[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	bases := make([]qsim.Basis, n)
+	for i := range bases {
+		bases[i] = qsim.FromVector([]complex128{
+			complex(rng.NormFloat64(), rng.NormFloat64()),
+			complex(rng.NormFloat64(), rng.NormFloat64()),
+		})
+	}
+	return QuantumCandidate{State: qsim.FromAmplitudes(amp), Bases: bases}
+}
+
+// GHZCandidate is the "obvious" attempt: share an n-party GHZ state and
+// measure in per-switch rotated bases.
+func GHZCandidate(n int, angles []float64) QuantumCandidate {
+	bases := make([]qsim.Basis, n)
+	for i := range bases {
+		bases[i] = qsim.RotatedReal(angles[i])
+	}
+	return QuantumCandidate{State: qsim.GHZ(n), Bases: bases}
+}
+
+// ExpectedCollisions computes the candidate's exact expected colliding
+// pairs per round (m = 2 paths, exactly k of n active) from the Born rule:
+// Σ_{i<j} P(both active) · P(outcome_i = outcome_j).
+func (qc QuantumCandidate) ExpectedCollisions(k int) float64 {
+	n := qc.State.NumQubits
+	dist := qc.State.OutcomeDistribution(qc.Bases)
+	p2 := pairActiveProb(n, k)
+	var total float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pSame := 0.0
+			for o, p := range dist {
+				bi := o >> (n - 1 - i) & 1
+				bj := o >> (n - 1 - j) & 1
+				if bi == bj {
+					pSame += p
+				}
+			}
+			total += p2 * pSame
+		}
+	}
+	return total
+}
+
+// QuantumSearchBestCollisions searches `trials` random quantum candidates
+// (plus GHZ candidates with random angles) for the lowest expected
+// collisions, supporting the conjecture numerically: the returned value can
+// approach but never beat ExactBestClassical(n, 2, k).
+func QuantumSearchBestCollisions(n, k, trials int, rng *xrand.RNG) float64 {
+	best := math.Inf(1)
+	for t := 0; t < trials; t++ {
+		var cand QuantumCandidate
+		if t%2 == 0 {
+			cand = RandomQuantumCandidate(n, rng)
+		} else {
+			angles := make([]float64, n)
+			for i := range angles {
+				angles[i] = rng.Float64() * math.Pi
+			}
+			cand = GHZCandidate(n, angles)
+		}
+		if v := cand.ExpectedCollisions(k); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// PigeonholeLowerBound is the universal bound both classical AND quantum
+// strategies obey: every realization of the n outcome bits has at least
+// MinMonochromaticPairs(n, m) same-path pairs, so by linearity every
+// outcome distribution — including any Born-rule distribution — has
+// expected collisions ≥ pairActiveProb · that count. This is the
+// conjecture's no-input special case, proved.
+func PigeonholeLowerBound(n, m, k int) float64 {
+	return ExactBestClassical(n, m, k)
+}
+
+// OptimizeGHZAngles runs coordinate-descent hill climbing over per-switch
+// measurement angles on a GHZ state, minimizing expected collisions — a
+// much stronger adversary than random search. It still cannot beat the
+// pigeonhole bound (the conjecture's no-input case is proved), and the
+// tests assert exactly that.
+func OptimizeGHZAngles(n, k, restarts int, rng *xrand.RNG) float64 {
+	best := math.Inf(1)
+	for r := 0; r < restarts; r++ {
+		angles := make([]float64, n)
+		for i := range angles {
+			angles[i] = rng.Float64() * math.Pi
+		}
+		cur := GHZCandidate(n, angles).ExpectedCollisions(k)
+		step := 0.5
+		for step > 1e-4 {
+			improved := false
+			for i := 0; i < n; i++ {
+				for _, delta := range []float64{step, -step} {
+					trial := make([]float64, n)
+					copy(trial, angles)
+					trial[i] += delta
+					v := GHZCandidate(n, trial).ExpectedCollisions(k)
+					if v < cur-1e-12 {
+						cur = v
+						copy(angles, trial)
+						improved = true
+					}
+				}
+			}
+			if !improved {
+				step /= 2
+			}
+		}
+		if cur < best {
+			best = cur
+		}
+	}
+	return best
+}
+
+// MultiPathCandidate generalizes QuantumCandidate past binary outputs: each
+// switch holds TWO qubits of a shared 2n-qubit state and maps its 2-bit
+// measurement outcome onto one of m paths (outcome o → path o mod m). The
+// paper notes XOR-game outputs are binary; multi-qubit measurements are the
+// natural escape hatch, and the pigeonhole bound applies to them all the
+// same — which the tests confirm.
+type MultiPathCandidate struct {
+	State *qsim.State  // 2n qubits: switch i owns qubits 2i, 2i+1
+	Bases []qsim.Basis // one basis per qubit (2n entries)
+	Paths int
+}
+
+// RandomMultiPathCandidate draws a random shared state and bases for n
+// switches choosing among m paths.
+func RandomMultiPathCandidate(n, m int, rng *xrand.RNG) MultiPathCandidate {
+	amp := make([]complex128, 1<<(2*n))
+	for i := range amp {
+		amp[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	bases := make([]qsim.Basis, 2*n)
+	for i := range bases {
+		bases[i] = qsim.FromVector([]complex128{
+			complex(rng.NormFloat64(), rng.NormFloat64()),
+			complex(rng.NormFloat64(), rng.NormFloat64()),
+		})
+	}
+	return MultiPathCandidate{State: qsim.FromAmplitudes(amp), Bases: bases, Paths: m}
+}
+
+// ExpectedCollisions returns the exact expected colliding pairs per round
+// with exactly k of n switches active.
+func (mc MultiPathCandidate) ExpectedCollisions(k int) float64 {
+	n := mc.State.NumQubits / 2
+	dist := mc.State.OutcomeDistribution(mc.Bases)
+	p2 := pairActiveProb(n, k)
+	nq := mc.State.NumQubits
+	path := func(outcome, sw int) int {
+		hi := outcome >> (nq - 1 - 2*sw) & 1
+		lo := outcome >> (nq - 2 - 2*sw) & 1
+		return (hi<<1 | lo) % mc.Paths
+	}
+	var total float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pSame := 0.0
+			for o, p := range dist {
+				if path(o, i) == path(o, j) {
+					pSame += p
+				}
+			}
+			total += p2 * pSame
+		}
+	}
+	return total
+}
+
+// MultiPathQuantumSearch searches random two-qubit-per-switch candidates for
+// the lowest expected collisions at m paths; the pigeonhole bound still
+// binds (note: the "o mod m" output map is itself biased for m=3, making
+// these candidates strictly weaker than the classical optimum's balanced
+// assignment — yet more support for the conjecture).
+func MultiPathQuantumSearch(n, m, k, trials int, rng *xrand.RNG) float64 {
+	best := math.Inf(1)
+	for t := 0; t < trials; t++ {
+		if v := RandomMultiPathCandidate(n, m, rng).ExpectedCollisions(k); v < best {
+			best = v
+		}
+	}
+	return best
+}

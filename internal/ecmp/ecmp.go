@@ -1,0 +1,225 @@
+// Package ecmp implements the paper's §4.2 study: Equal-Cost Multi-Path
+// routing, where N switches choose among M paths but only an unknown subset
+// is active. The paper proves that globally entangled states offer no
+// advantage over entanglement among just the active parties (a no-signaling
+// reduction) and conjectures that quantum strategies offer no advantage at
+// all; this package reproduces the reduction numerically and provides exact
+// small-case optimizers plus Monte-Carlo simulators showing every quantum
+// candidate strategy matching — never beating — the best classical scheme.
+//
+// The structural reason is the paper's "lesson learned": a switch's
+// measurement choice cannot depend on which other switches are active, so
+// the outcome statistics over any active subset are marginals of one fixed
+// joint distribution — and any single joint distribution (no inputs to vary)
+// is classically realizable with shared randomness.
+package ecmp
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// PathStrategy chooses a path for every active switch. Implementations must
+// honor the information constraint: switch i's choice may depend only on i,
+// its own "active" signal, and pre-shared randomness/entanglement — never on
+// which other switches are active.
+type PathStrategy interface {
+	Name() string
+	// ChoosePaths returns one path per entry of active (parallel slice).
+	// n is the total switch count, m the path count.
+	ChoosePaths(active []int, n, m int, rng *xrand.RNG) []int
+}
+
+// IndependentRandom is production ECMP: every switch hashes independently,
+// i.e. picks a uniform path.
+type IndependentRandom struct{}
+
+// Name implements PathStrategy.
+func (IndependentRandom) Name() string { return "independent-random" }
+
+// ChoosePaths implements PathStrategy.
+func (IndependentRandom) ChoosePaths(active []int, n, m int, rng *xrand.RNG) []int {
+	out := make([]int, len(active))
+	for i := range out {
+		out[i] = rng.IntN(m)
+	}
+	return out
+}
+
+// SharedPermutation gives all switches a fresh shared random permutation σ
+// each round; switch i deterministically takes path σ(i) mod m. Any two
+// switches i, j with i ≢ j (mod m) never collide; the loss comes only from
+// the pigeonhole classes.
+type SharedPermutation struct{}
+
+// Name implements PathStrategy.
+func (SharedPermutation) Name() string { return "shared-permutation" }
+
+// ChoosePaths implements PathStrategy.
+func (SharedPermutation) ChoosePaths(active []int, n, m int, rng *xrand.RNG) []int {
+	sigma := rng.Perm(n) // shared randomness drawn once per round
+	out := make([]int, len(active))
+	for k, sw := range active {
+		out[k] = sigma[sw] % m
+	}
+	return out
+}
+
+// PairwiseAntiCorrelated pairs the switches; each pair shares one bit per
+// round (a shared coin classically, or equivalently a computational-basis
+// measurement of a Bell pair — at perfect visibility the two are
+// indistinguishable, which is itself evidence for the paper's conjecture).
+// Switch 2k takes the bit, switch 2k+1 its complement, mapped into the first
+// two paths. Visibility < 1 models a noisy Bell pair: the anti-correlation
+// breaks with probability (1−V)/2.
+type PairwiseAntiCorrelated struct {
+	// Visibility of the shared pairs; 1 reproduces the classical shared
+	// coin exactly.
+	Visibility float64
+}
+
+// Name implements PathStrategy.
+func (p PairwiseAntiCorrelated) Name() string {
+	return fmt.Sprintf("pairwise-bell(V=%.2f)", p.Visibility)
+}
+
+// ChoosePaths implements PathStrategy.
+func (p PairwiseAntiCorrelated) ChoosePaths(active []int, n, m int, rng *xrand.RNG) []int {
+	// Draw each pair's shared bit lazily but deterministically per round.
+	bits := make(map[int]int)
+	pairBit := func(pair int) int {
+		b, ok := bits[pair]
+		if !ok {
+			b = rng.IntN(2)
+			bits[pair] = b
+		}
+		return b
+	}
+	out := make([]int, len(active))
+	for k, sw := range active {
+		pair := sw / 2
+		b := pairBit(pair)
+		choice := b
+		if sw%2 == 1 {
+			choice = 1 - b
+		}
+		// Noise: each switch's measured bit flips independently with
+		// probability (1−V)/2 — the Werner-state computational-basis
+		// statistics.
+		if rng.Bool((1 - p.Visibility) / 2) {
+			choice = 1 - choice
+		}
+		out[k] = choice % m
+	}
+	return out
+}
+
+// OmniscientOracle knows the active set (it communicates!) and assigns
+// distinct paths whenever the active count allows. It bounds what any
+// coordination-free scheme could achieve and is NOT realizable under the
+// paper's constraints.
+type OmniscientOracle struct{}
+
+// Name implements PathStrategy.
+func (OmniscientOracle) Name() string { return "oracle-communicating" }
+
+// ChoosePaths implements PathStrategy.
+func (OmniscientOracle) ChoosePaths(active []int, n, m int, rng *xrand.RNG) []int {
+	out := make([]int, len(active))
+	for k := range active {
+		out[k] = k % m
+	}
+	return out
+}
+
+// Result aggregates collision metrics over simulated rounds.
+type Result struct {
+	Strategy string
+	// Collisions is the per-round count of colliding pairs (two active
+	// switches on the same path).
+	Collisions stats.Welford
+	// CollisionFree is the fraction of rounds with zero collisions.
+	CollisionFree stats.Proportion
+	// MaxLoad is the per-round maximum number of active switches on one
+	// path.
+	MaxLoad stats.Welford
+}
+
+// Config parametrizes a simulation.
+type Config struct {
+	NumSwitches, NumPaths int
+	// ActiveK, when positive, activates exactly K uniformly chosen
+	// switches per round; otherwise each switch is active independently
+	// with probability ActiveProb.
+	ActiveK    int
+	ActiveProb float64
+	Rounds     int
+	Seed       uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.NumSwitches < 2 || c.NumPaths < 2 {
+		return fmt.Errorf("ecmp: need at least 2 switches and 2 paths")
+	}
+	if c.ActiveK < 0 || c.ActiveK > c.NumSwitches {
+		return fmt.Errorf("ecmp: ActiveK out of range")
+	}
+	if c.ActiveK == 0 && (c.ActiveProb <= 0 || c.ActiveProb > 1) {
+		return fmt.Errorf("ecmp: need ActiveK or a valid ActiveProb")
+	}
+	if c.Rounds <= 0 {
+		return fmt.Errorf("ecmp: need positive rounds")
+	}
+	return nil
+}
+
+// Run simulates the strategy and returns collision statistics.
+func Run(cfg Config, strat PathStrategy) Result {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	rng := xrand.New(cfg.Seed, 0xec3b)
+	res := Result{Strategy: strat.Name()}
+	loads := make([]int, cfg.NumPaths)
+
+	for round := 0; round < cfg.Rounds; round++ {
+		var active []int
+		if cfg.ActiveK > 0 {
+			active = rng.SampleWithoutReplacement(cfg.NumSwitches, cfg.ActiveK)
+		} else {
+			for sw := 0; sw < cfg.NumSwitches; sw++ {
+				if rng.Bool(cfg.ActiveProb) {
+					active = append(active, sw)
+				}
+			}
+		}
+		paths := strat.ChoosePaths(active, cfg.NumSwitches, cfg.NumPaths, rng)
+		if len(paths) != len(active) {
+			panic("ecmp: strategy returned wrong path count")
+		}
+		for i := range loads {
+			loads[i] = 0
+		}
+		maxLoad := 0
+		for _, p := range paths {
+			if p < 0 || p >= cfg.NumPaths {
+				panic("ecmp: path out of range")
+			}
+			loads[p]++
+			if loads[p] > maxLoad {
+				maxLoad = loads[p]
+			}
+		}
+		collisions := 0
+		for _, l := range loads {
+			collisions += l * (l - 1) / 2
+		}
+		res.Collisions.Add(float64(collisions))
+		res.CollisionFree.Add(collisions == 0)
+		res.MaxLoad.Add(float64(maxLoad))
+	}
+	return res
+}

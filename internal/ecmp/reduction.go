@@ -1,0 +1,94 @@
+package ecmp
+
+import (
+	"repro/internal/qsim"
+)
+
+// This file demonstrates the paper's §4.2 impossibility proof numerically:
+// "we may assume C performs a measurement in advance, reducing the shared
+// quantum state to a mixture of pairwise-entangled states between A and B".
+// The no-signaling principle guarantees the A–B statistics are unchanged by
+// anything C does — so N-way entanglement cannot help beyond what the
+// active parties' own (mixed) entanglement provides.
+
+// ReductionReport quantifies the demonstration for one tripartite state.
+type ReductionReport struct {
+	// MaxMarginalShift is the largest total-variation change in the A–B
+	// joint outcome distribution across C's basis choices (must be ~0).
+	MaxMarginalShift float64
+	// MixtureError is the total-variation distance between the A–B
+	// distribution of the unmeasured state and the outcome-weighted mixture
+	// of C-collapsed states (must be ~0: the state IS the mixture, from
+	// A and B's perspective).
+	MixtureError float64
+}
+
+// DemonstrateReduction runs the §4.2 argument on a given 3-qubit state
+// (qubits: A=0, B=1, C=2) with A and B measuring in the supplied bases and
+// C trying each of the candidate bases.
+func DemonstrateReduction(state *qsim.State, basisA, basisB qsim.Basis, cBases []qsim.Basis) ReductionReport {
+	if state.NumQubits != 3 {
+		panic("ecmp: reduction demo needs a 3-qubit state")
+	}
+	d := qsim.DensityFromPure(state)
+
+	// Reference: A-B marginal with C unmeasured (any basis; no-signaling
+	// makes the choice irrelevant, which MaxMarginalShift verifies).
+	ref := abMarginal(d, basisA, basisB, qsim.Computational())
+
+	var report ReductionReport
+	for _, cb := range cBases {
+		// (1) No-signaling: C's basis choice does not move A-B statistics.
+		got := abMarginal(d, basisA, basisB, cb)
+		if tv := qsim.TotalVariation(ref, got); tv > report.MaxMarginalShift {
+			report.MaxMarginalShift = tv
+		}
+
+		// (2) Pre-measurement: collapse on each of C's outcomes and mix.
+		mixed := make([]float64, 4)
+		for outcome := 0; outcome < 2; outcome++ {
+			p := d.OutcomeProbability(2, cb, outcome)
+			if p < 1e-15 {
+				continue
+			}
+			post := d.Collapse(2, cb, outcome)
+			cond := abMarginal(post, basisA, basisB, cb)
+			for i := range mixed {
+				mixed[i] += p * cond[i]
+			}
+		}
+		if tv := qsim.TotalVariation(ref, mixed); tv > report.MixtureError {
+			report.MixtureError = tv
+		}
+	}
+	return report
+}
+
+func abMarginal(d *qsim.Density, ba, bb, bc qsim.Basis) []float64 {
+	full := d.OutcomeDistribution([]qsim.Basis{ba, bb, bc})
+	return qsim.MarginalDistribution(full, 3, []int{0, 1})
+}
+
+// StandardReductionDemo runs DemonstrateReduction on the GHZ and W states
+// with representative bases, returning the worst report — the numbers the
+// EXPERIMENTS table quotes.
+func StandardReductionDemo() ReductionReport {
+	basisA := qsim.RotatedReal(0.37)
+	basisB := qsim.RotatedReal(-0.81)
+	cBases := []qsim.Basis{
+		qsim.Computational(),
+		qsim.Hadamard(),
+		qsim.RotatedReal(1.2),
+	}
+	var worst ReductionReport
+	for _, st := range []*qsim.State{qsim.GHZ(3), qsim.W(3)} {
+		r := DemonstrateReduction(st, basisA, basisB, cBases)
+		if r.MaxMarginalShift > worst.MaxMarginalShift {
+			worst.MaxMarginalShift = r.MaxMarginalShift
+		}
+		if r.MixtureError > worst.MixtureError {
+			worst.MixtureError = r.MixtureError
+		}
+	}
+	return worst
+}

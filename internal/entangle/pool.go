@@ -1,0 +1,103 @@
+package entangle
+
+import (
+	"time"
+)
+
+// Supplier is what a coordination session consumes: one entangled pair per
+// decision round. Implementations report the pair's visibility at use time,
+// or ok=false when no pair is available (the session must then fall back to
+// a classical strategy — correlations degrade, correctness does not).
+type Supplier interface {
+	// TryConsume removes one pair and returns its current visibility.
+	TryConsume(now time.Duration) (visibility float64, ok bool)
+}
+
+// PoolStats counts the lifecycle of pairs through a pool.
+type PoolStats struct {
+	Added    int64 // pairs stored
+	Consumed int64 // pairs used for decisions
+	Expired  int64 // pairs discarded at the storage limit
+}
+
+// Pool is a buffer of stored pairs at a pair of QNICs. Consumption is
+// freshest-first (LIFO): the newest pair has decohered the least, so it
+// yields the highest visibility, while older pairs age out at the storage
+// limit regardless — under oversupply freshest-first strictly dominates
+// oldest-first on delivered visibility and loses only pairs that were going
+// to expire anyway.
+type Pool struct {
+	QNIC  QNICConfig
+	Cap   int // maximum stored pairs (memory slots); 0 means unlimited
+	pairs []Pair
+	stats PoolStats
+}
+
+// NewPool creates a pool with the given QNIC model and capacity.
+func NewPool(q QNICConfig, capacity int) *Pool {
+	if err := q.Validate(); err != nil {
+		panic(err)
+	}
+	return &Pool{QNIC: q, Cap: capacity}
+}
+
+// Add stores a newly arrived pair; returns false if the pool is full (the
+// photons are measured out / discarded).
+func (p *Pool) Add(pair Pair) bool {
+	p.expire(pair.ArrivedAt)
+	if p.Cap > 0 && len(p.pairs) >= p.Cap {
+		return false
+	}
+	p.pairs = append(p.pairs, pair)
+	p.stats.Added++
+	return true
+}
+
+// Len returns the number of stored (possibly stale) pairs; call Expire first
+// for an exact live count.
+func (p *Pool) Len() int { return len(p.pairs) }
+
+// Expire drops pairs past the storage limit as of now.
+func (p *Pool) Expire(now time.Duration) { p.expire(now) }
+
+func (p *Pool) expire(now time.Duration) {
+	i := 0
+	for i < len(p.pairs) && p.pairs[i].Expired(now, p.QNIC) {
+		i++
+	}
+	if i > 0 {
+		p.stats.Expired += int64(i)
+		p.pairs = p.pairs[i:]
+	}
+}
+
+// TryConsume implements Supplier: pops the freshest live pair.
+func (p *Pool) TryConsume(now time.Duration) (float64, bool) {
+	p.expire(now)
+	if len(p.pairs) == 0 {
+		return 0, false
+	}
+	pair := p.pairs[len(p.pairs)-1]
+	p.pairs = p.pairs[:len(p.pairs)-1]
+	p.stats.Consumed++
+	return pair.VisibilityAt(now, p.QNIC), true
+}
+
+// Stats returns lifecycle counters.
+func (p *Pool) Stats() PoolStats { return p.stats }
+
+// PerfectSupplier always supplies a pair at fixed visibility — the
+// "entanglement is never the bottleneck" idealization used by the
+// load-balancing experiments, where the interesting dynamics are queueing.
+type PerfectSupplier struct{ Visibility float64 }
+
+// TryConsume always succeeds.
+func (s PerfectSupplier) TryConsume(time.Duration) (float64, bool) {
+	return s.Visibility, true
+}
+
+// EmptySupplier never has a pair — the all-classical-fallback extreme.
+type EmptySupplier struct{}
+
+// TryConsume always fails.
+func (EmptySupplier) TryConsume(time.Duration) (float64, bool) { return 0, false }

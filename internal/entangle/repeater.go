@@ -1,0 +1,137 @@
+package entangle
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/qsim"
+)
+
+// Repeater chains (§3's quantum-network context, refs [62, 15]): beyond a
+// single fiber run, entanglement is distributed by generating elementary
+// pairs on short segments and fusing them with Bell-state measurements
+// (entanglement swapping) at intermediate nodes. Two facts drive the
+// engineering trade-off, and both are verified against the exact simulator
+// in the tests:
+//
+//  1. swapping two Werner pairs of visibilities V₁ and V₂ yields a Werner
+//     pair of visibility V₁·V₂ (noise compounds multiplicatively), and
+//  2. a linear-optics BSM succeeds with probability 1/2, so rate decays
+//     with segment count — but direct transmission decays EXPONENTIALLY
+//     with distance, so repeaters win beyond a crossover distance.
+
+// RepeaterChain models end-to-end entanglement distribution over a chain
+// of identical segments.
+type RepeaterChain struct {
+	// Segments is the number of elementary-pair segments (≥ 1; 1 means
+	// direct transmission through the segment source).
+	Segments int
+	// Source describes each segment's SPDC source; Source.FiberLengthM is
+	// the per-arm length within one segment.
+	Source SourceConfig
+	// BSMSuccess is the Bell-state-measurement success probability at each
+	// intermediate node (linear optics: 0.5; complete BSMs approach 1).
+	BSMSuccess float64
+}
+
+// Validate checks the chain parameters.
+func (rc RepeaterChain) Validate() error {
+	if err := rc.Source.Validate(); err != nil {
+		return err
+	}
+	if rc.Segments < 1 {
+		return errSegments
+	}
+	if rc.BSMSuccess <= 0 || rc.BSMSuccess > 1 {
+		return errBSM
+	}
+	return nil
+}
+
+var (
+	errSegments = validationError("entangle: repeater chain needs at least one segment")
+	errBSM      = validationError("entangle: BSM success probability must lie in (0,1]")
+)
+
+type validationError string
+
+func (e validationError) Error() string { return string(e) }
+
+// TotalLengthM is the end-to-end span covered by the chain. Each segment
+// spans two source arms (source at the midpoint, photons to both ends).
+func (rc RepeaterChain) TotalLengthM() float64 {
+	return float64(rc.Segments) * 2 * rc.Source.FiberLengthM
+}
+
+// EndToEndVisibility is the visibility of the final pair after fusing all
+// segments: V^Segments (multiplicative compounding, fact 1 above).
+func (rc RepeaterChain) EndToEndVisibility() float64 {
+	return math.Pow(rc.Source.BaseVisibility, float64(rc.Segments))
+}
+
+// EndToEndRate is the delivered end-to-end pair rate: each segment delivers
+// at its fiber-lossy rate, and each of the Segments−1 swaps succeeds with
+// BSMSuccess. (This is the memory-rich idealization where segments
+// regenerate independently; it upper-bounds memoryless schemes and is the
+// standard first-order repeater model.)
+func (rc RepeaterChain) EndToEndRate() float64 {
+	return rc.Source.DeliveredPairRate() * math.Pow(rc.BSMSuccess, float64(rc.Segments-1))
+}
+
+// DirectRate returns the delivered rate of a single source spanning the
+// same total distance without repeaters (arms of TotalLength/2 each).
+func (rc RepeaterChain) DirectRate() float64 {
+	direct := rc.Source
+	direct.FiberLengthM = rc.TotalLengthM() / 2
+	return direct.DeliveredPairRate()
+}
+
+// RepeaterWins reports whether the chain beats direct transmission on rate
+// at this configuration.
+func (rc RepeaterChain) RepeaterWins() bool {
+	return rc.EndToEndRate() > rc.DirectRate()
+}
+
+// CrossoverSegments returns, for a fixed total distance, the smallest
+// segment count (≥ 2) at which a repeater chain beats direct transmission,
+// or 0 if none up to maxSegments does. Each candidate chain divides
+// totalLengthM evenly.
+func CrossoverSegments(src SourceConfig, totalLengthM float64, bsmSuccess float64, maxSegments int) int {
+	for s := 2; s <= maxSegments; s++ {
+		chain := RepeaterChain{Segments: s, Source: src, BSMSuccess: bsmSuccess}
+		chain.Source.FiberLengthM = totalLengthM / float64(2*s)
+		if chain.RepeaterWins() {
+			return s
+		}
+	}
+	return 0
+}
+
+// SwapWernerPairs computes, with the exact density-matrix simulator, the
+// state of the outer qubits after projecting the middle qubits of
+// Werner(v1) ⊗ Werner(v2) onto Φ+ (a successful BSM outcome), and returns
+// its fidelity with Φ+ together with the effective Werner visibility
+// implied by that fidelity (F = V + (1−V)/4 ⇒ V = (4F−1)/3). The tests
+// check the multiplicative law against this exact computation.
+func SwapWernerPairs(v1, v2 float64) (fidelity, effectiveVisibility float64) {
+	w1 := qsim.Werner(v1)
+	w2 := qsim.Werner(v2)
+	// Joint 4-qubit state: qubits 0,1 = pair 1; qubits 2,3 = pair 2.
+	joint := &qsim.Density{NumQubits: 4, Rho: w1.Rho.Kron(w2.Rho)}
+
+	// Project qubits (1,2) onto Φ+ — i.e. apply (I ⊗ |Φ+⟩⟨Φ+| ⊗ I) and
+	// renormalize.
+	bell := qsim.Bell()
+	proj22 := bell.Amp.Outer(bell.Amp) // 4×4 projector on the middle pair
+	full := linalg.Identity(2).Kron(proj22).Kron(linalg.Identity(2))
+	num := full.Mul(joint.Rho).Mul(full)
+	p := real(num.Trace())
+	if p <= 0 {
+		panic("entangle: BSM projection has zero probability")
+	}
+	post := &qsim.Density{NumQubits: 4, Rho: num.Scale(complex(1/p, 0))}
+
+	outer := post.PartialTrace(1, 2)
+	f := outer.FidelityPure(qsim.Bell())
+	return f, (4*f - 1) / 3
+}

@@ -1,0 +1,61 @@
+package entangle
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/xrand"
+)
+
+// ServiceStats counts source-side events.
+type ServiceStats struct {
+	Generated int64 // pairs emitted by the source
+	LostFiber int64 // pairs losing ≥1 photon in fiber
+	Delivered int64 // pairs that reached both QNICs
+	Rejected  int64 // pairs dropped because the pool was full
+}
+
+// Service drives a Pool from an SPDC source on a discrete-event engine:
+// every source interval a pair is emitted; with the fiber's delivery
+// probability it survives both arms and is stored at both QNICs after the
+// propagation delay. This is the "continuous stream of entangled qubits
+// distributed in advance" of Figure 2.
+type Service struct {
+	Source SourceConfig
+	Pool   *Pool
+
+	engine *netsim.Engine
+	rng    *xrand.RNG
+	stats  ServiceStats
+	cancel func()
+}
+
+// StartService begins pair distribution on the engine. Call Stop to end it.
+func StartService(e *netsim.Engine, src SourceConfig, pool *Pool, rng *xrand.RNG) *Service {
+	if err := src.Validate(); err != nil {
+		panic(err)
+	}
+	s := &Service{Source: src, Pool: pool, engine: e, rng: rng}
+	delivery := src.DeliveryProbability()
+	propagation := src.PropagationDelay()
+	s.cancel = e.Every(src.Interval(), func() {
+		s.stats.Generated++
+		if !rng.Bool(delivery) {
+			s.stats.LostFiber++
+			return
+		}
+		e.Schedule(propagation, func() {
+			pair := Pair{ArrivedAt: e.Now(), V0: src.BaseVisibility}
+			if pool.Add(pair) {
+				s.stats.Delivered++
+			} else {
+				s.stats.Rejected++
+			}
+		})
+	})
+	return s
+}
+
+// Stop halts the source.
+func (s *Service) Stop() { s.cancel() }
+
+// Stats returns source-side counters.
+func (s *Service) Stats() ServiceStats { return s.stats }

@@ -1,0 +1,107 @@
+package games
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/qsim"
+	"repro/internal/xrand"
+)
+
+func TestSeeSawOnStateRecoversBellResult(t *testing.T) {
+	// On a perfect Bell pair the generalized see-saw must reproduce the
+	// Bell-specific see-saw: cos²(π/8) for CHSH.
+	rng := xrand.New(130, 1)
+	g := FromXOR(NewCHSH())
+	res := g.SeeSawOnState(qsim.DensityFromPure(qsim.Bell()), rng)
+	if math.Abs(res.Value-chshQuantum) > 1e-6 {
+		t.Fatalf("Bell-state see-saw %v, want %v", res.Value, chshQuantum)
+	}
+}
+
+func TestSeeSawOnWernerMatchesClosedForm(t *testing.T) {
+	// Werner noise is isotropic: re-optimization cannot beat the closed
+	// form V·cos²(π/8) + (1−V)/2 (the paper's angles stay optimal).
+	rng := xrand.New(131, 1)
+	g := FromXOR(NewCHSH())
+	for _, v := range []float64{0.9, 0.75} {
+		res := g.SeeSawOnState(qsim.Werner(v), rng)
+		want := v*chshQuantum + (1-v)/2
+		if math.Abs(res.Value-want) > 1e-6 {
+			t.Fatalf("V=%v: see-saw %v, closed form %v", v, res.Value, want)
+		}
+	}
+}
+
+// TestAdaptiveGainUnderDephasing is the payoff: dephasing is anisotropic
+// (Z-correlations survive, X-correlations decay), so the noiseless-optimal
+// angles are no longer optimal — re-optimizing recovers real value.
+func TestAdaptiveGainUnderDephasing(t *testing.T) {
+	rng := xrand.New(132, 1)
+	g := NewCHSH()
+	rho := qsim.DensityFromPure(qsim.Bell()).
+		ApplyChannel(0, qsim.Dephasing(0.6)).
+		ApplyChannel(1, qsim.Dephasing(0.6))
+
+	fixed, adapted := AdaptiveGain(g, rho, OptimalCHSHAngles(), rng)
+	if adapted < fixed+0.005 {
+		t.Fatalf("adaptation gained only %v (fixed %v, adapted %v)",
+			adapted-fixed, fixed, adapted)
+	}
+	// Physics bound still holds.
+	if adapted > chshQuantum+1e-9 {
+		t.Fatalf("adapted value %v exceeds the Tsirelson bound", adapted)
+	}
+	// And the adapted behavior must be physical.
+}
+
+func TestAdaptiveGainZeroForWerner(t *testing.T) {
+	// Isotropic noise: nothing to adapt to. Gain ≈ 0.
+	rng := xrand.New(133, 1)
+	g := NewCHSH()
+	fixed, adapted := AdaptiveGain(g, qsim.Werner(0.85), OptimalCHSHAngles(), rng)
+	if adapted-fixed > 1e-6 {
+		t.Fatalf("Werner adaptation gain %v should be ~0", adapted-fixed)
+	}
+	if fixed-adapted > 1e-6 {
+		t.Fatalf("see-saw fell below the fixed angles: %v vs %v", adapted, fixed)
+	}
+}
+
+func TestConditionalOperatorsConsistent(t *testing.T) {
+	// Tr[(A⊗B)ρ] computed three ways must agree for random Hermitian A, B.
+	rng := xrand.New(134, 1)
+	rho := qsim.DensityFromPure(qsim.Bell()).ApplyChannel(1, qsim.AmplitudeDamping(0.3))
+	for trial := 0; trial < 10; trial++ {
+		a := randomProjector(rng)
+		b := randomProjector(rng)
+		direct := real(rho.Rho.Mul(a.Kron(b)).Trace())
+		viaAlice := real(a.Mul(conditionalOnAlice(rho, b)).Trace())
+		viaBob := real(b.Mul(conditionalOnBob(rho, a)).Trace())
+		if math.Abs(direct-viaAlice) > 1e-10 || math.Abs(direct-viaBob) > 1e-10 {
+			t.Fatalf("trial %d: direct %v, viaAlice %v, viaBob %v",
+				trial, direct, viaAlice, viaBob)
+		}
+	}
+}
+
+func TestSeeSawOnStateValidation(t *testing.T) {
+	rng := xrand.New(135, 1)
+	g := FromXOR(NewCHSH())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong qubit count")
+		}
+	}()
+	g.SeeSawOnState(qsim.DensityFromPure(qsim.GHZ(3)), rng)
+}
+
+func BenchmarkSeeSawOnState(b *testing.B) {
+	rng := xrand.New(1, 31)
+	g := FromXOR(NewCHSH())
+	rho := qsim.Werner(0.9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.SeeSawOnState(rho, rng)
+	}
+}

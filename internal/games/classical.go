@@ -1,0 +1,124 @@
+package games
+
+// Classical values. By convexity, shared randomness is a mixture of
+// deterministic strategies, so the classical value of any game is attained
+// by a deterministic strategy — we enumerate them exactly.
+
+// ClassicalResult describes the best classical strategy for an XOR game.
+type ClassicalResult struct {
+	Bias  float64
+	Value float64
+	// A[x] and B[y] are the optimal deterministic answers.
+	A, B []int
+}
+
+// ClassicalValue computes the exact classical value of an XOR game by
+// enumerating Alice's 2^NA deterministic strategies; Bob's best response is
+// then separable per input (pick the sign that maximizes each column's
+// contribution). Cost O(2^NA · NA·NB), exact for the game sizes in the paper
+// (Figure 3 uses 5 vertices). Panics if NA > 24.
+func (g *XORGame) ClassicalValue() ClassicalResult {
+	if g.NA > 24 {
+		panic("games: ClassicalValue enumeration too large; reformulate with the smaller alphabet on Alice's side")
+	}
+	m := g.SignMatrix()
+	best := ClassicalResult{Bias: -2}
+	for mask := 0; mask < 1<<g.NA; mask++ {
+		var bias float64
+		bSigns := make([]int, g.NB)
+		for y := 0; y < g.NB; y++ {
+			var col float64
+			for x := 0; x < g.NA; x++ {
+				sx := 1.0
+				if mask>>x&1 == 1 {
+					sx = -1
+				}
+				col += m[x][y] * sx
+			}
+			// Bob's answer contributes (−1)^{b_y}·col; pick the better sign.
+			if col >= 0 {
+				bias += col
+				bSigns[y] = 0
+			} else {
+				bias -= col
+				bSigns[y] = 1
+			}
+		}
+		if bias > best.Bias {
+			a := make([]int, g.NA)
+			for x := range a {
+				a[x] = mask >> x & 1
+			}
+			best = ClassicalResult{Bias: bias, Value: ValueFromBias(bias), A: a, B: bSigns}
+		}
+	}
+	return best
+}
+
+// DeterministicSampler is a classical strategy: fixed answer tables for both
+// parties. It is also the building block for shared-randomness strategies.
+type DeterministicSampler struct {
+	A, B []int
+}
+
+// Sample returns the strategy's answers; the rng is unused (deterministic).
+func (d *DeterministicSampler) Sample(x, y int, _ RoundRNG) (a, b int) {
+	return d.A[x] & 1, d.B[y] & 1
+}
+
+// BestClassicalSampler returns the optimal deterministic strategy as a
+// sampler.
+func (g *XORGame) BestClassicalSampler() *DeterministicSampler {
+	r := g.ClassicalValue()
+	return &DeterministicSampler{A: r.A, B: r.B}
+}
+
+// MixtureSampler plays one of several strategies per round, chosen by shared
+// randomness with the given weights. By convexity its value is the weighted
+// average of the component values — never above the best deterministic
+// strategy; it exists so tests can verify that claim numerically.
+type MixtureSampler struct {
+	Weights    []float64
+	Strategies []JointSampler
+}
+
+// Sample picks a component strategy with the shared coin and delegates.
+func (ms *MixtureSampler) Sample(x, y int, rng RoundRNG) (a, b int) {
+	i := rng.Categorical(ms.Weights)
+	return ms.Strategies[i].Sample(x, y, rng)
+}
+
+// Value returns the exact winning probability of an arbitrary behavior
+// provided as conditional distributions P[x][y][a][b].
+func (g *XORGame) Value(p [][][][]float64) float64 {
+	var v float64
+	for x := 0; x < g.NA; x++ {
+		for y := 0; y < g.NB; y++ {
+			if g.Prob[x][y] == 0 {
+				continue
+			}
+			for a := 0; a < 2; a++ {
+				for b := 0; b < 2; b++ {
+					if g.Wins(x, y, a, b) {
+						v += g.Prob[x][y] * p[x][y][a][b]
+					}
+				}
+			}
+		}
+	}
+	return v
+}
+
+// EmpiricalValue estimates a sampler's winning probability over the given
+// number of rounds with referee-drawn inputs.
+func (g *XORGame) EmpiricalValue(s JointSampler, rounds int, rng RoundRNG) float64 {
+	wins := 0
+	for i := 0; i < rounds; i++ {
+		x, y := g.SampleInput(rng)
+		a, b := s.Sample(x, y, rng)
+		if g.Wins(x, y, a, b) {
+			wins++
+		}
+	}
+	return float64(wins) / float64(rounds)
+}

@@ -1,0 +1,347 @@
+package games
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/qsim"
+	"repro/internal/xrand"
+)
+
+// GeneralGame is an arbitrary finite two-party game: input alphabets of
+// sizes NA/NB, output alphabets of sizes KA/KB, an input distribution, and a
+// win predicate. §4.1 notes that "algorithms exist that can determine
+// whether a quantum advantage is possible for an arbitrary finite game" —
+// this file implements the classical side exactly and the quantum side as
+// the Liang–Doherty see-saw lower bound (the paper's reference [39]).
+type GeneralGame struct {
+	Name           string
+	NA, NB, KA, KB int
+	Prob           [][]float64
+	Win            func(x, y, a, b int) bool
+}
+
+// Validate checks structural invariants.
+func (g *GeneralGame) Validate() error {
+	if g.NA <= 0 || g.NB <= 0 || g.KA <= 0 || g.KB <= 0 {
+		return fmt.Errorf("games: %s: empty alphabet", g.Name)
+	}
+	if g.Win == nil {
+		return fmt.Errorf("games: %s: nil win predicate", g.Name)
+	}
+	if len(g.Prob) != g.NA {
+		return fmt.Errorf("games: %s: probability row count", g.Name)
+	}
+	var total float64
+	for x := range g.Prob {
+		if len(g.Prob[x]) != g.NB {
+			return fmt.Errorf("games: %s: probability column count", g.Name)
+		}
+		for _, p := range g.Prob[x] {
+			if p < 0 {
+				return fmt.Errorf("games: %s: negative probability", g.Name)
+			}
+			total += p
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		return fmt.Errorf("games: %s: probabilities sum to %v", g.Name, total)
+	}
+	return nil
+}
+
+// FromXOR lifts an XORGame to the general representation (binary outputs).
+func FromXOR(x *XORGame) *GeneralGame {
+	return &GeneralGame{
+		Name: x.Name,
+		NA:   x.NA, NB: x.NB, KA: 2, KB: 2,
+		Prob: x.Prob,
+		Win:  func(xx, yy, a, b int) bool { return x.Wins(xx, yy, a, b) },
+	}
+}
+
+// ClassicalValue computes the exact classical value by enumerating Alice's
+// KA^NA deterministic strategies; Bob best-responds separately per input.
+// Panics when the enumeration would exceed ~16M strategies.
+func (g *GeneralGame) ClassicalValue() float64 {
+	profiles := 1
+	for i := 0; i < g.NA; i++ {
+		profiles *= g.KA
+		if profiles > 1<<24 {
+			panic("games: GeneralGame.ClassicalValue enumeration too large")
+		}
+	}
+	best := 0.0
+	aChoice := make([]int, g.NA)
+	for profile := 0; profile < profiles; profile++ {
+		p := profile
+		for x := 0; x < g.NA; x++ {
+			aChoice[x] = p % g.KA
+			p /= g.KA
+		}
+		var v float64
+		for y := 0; y < g.NB; y++ {
+			bestB := 0.0
+			for b := 0; b < g.KB; b++ {
+				var w float64
+				for x := 0; x < g.NA; x++ {
+					if g.Prob[x][y] > 0 && g.Win(x, y, aChoice[x], b) {
+						w += g.Prob[x][y]
+					}
+				}
+				if w > bestB {
+					bestB = w
+				}
+			}
+			v += bestB
+		}
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// SeeSawResult is the outcome of the see-saw iteration: a certified-feasible
+// quantum strategy (a lower bound on the quantum value) with the projectors
+// that realize it on a shared Bell pair.
+type SeeSawResult struct {
+	Value float64
+	// AliceProj[x] / BobProj[y] are the outcome-0 projectors on C².
+	AliceProj, BobProj []*linalg.Mat
+}
+
+// SeeSawQuantumValue runs the Liang–Doherty alternating optimization for
+// binary-output games on a shared Bell pair: holding Bob fixed, Alice's
+// optimal outcome-0 projector for each input is the projector onto the
+// positive eigenspace of her conditional score operator (and symmetrically).
+// Each half-step is the exact best response, so the value is monotonically
+// non-decreasing and converges; random restarts escape poor basins. The
+// result is a valid quantum strategy, hence a lower bound on the quantum
+// value (the paper notes the general decision problem is undecidable, so a
+// lower-bound method is the honest tool).
+func (g *GeneralGame) SeeSawQuantumValue(rng *xrand.RNG) SeeSawResult {
+	if g.KA != 2 || g.KB != 2 {
+		panic("games: SeeSawQuantumValue supports binary outputs only")
+	}
+	const restarts = 6
+	best := SeeSawResult{Value: -1}
+	for r := 0; r < restarts; r++ {
+		res := g.seeSawOnce(rng)
+		if res.Value > best.Value {
+			best = res
+		}
+	}
+	return best
+}
+
+func (g *GeneralGame) seeSawOnce(rng *xrand.RNG) SeeSawResult {
+	// Shared state: Bell pair Φ+. For B acting on Bob's side,
+	// Tr_B[(I ⊗ B)|Φ+⟩⟨Φ+|] = Bᵀ/2.
+	alice := make([]*linalg.Mat, g.NA)
+	bob := make([]*linalg.Mat, g.NB)
+	for x := range alice {
+		alice[x] = randomProjector(rng)
+	}
+	for y := range bob {
+		bob[y] = randomProjector(rng)
+	}
+
+	value := func() float64 {
+		var v float64
+		for x := 0; x < g.NA; x++ {
+			for y := 0; y < g.NB; y++ {
+				if g.Prob[x][y] == 0 {
+					continue
+				}
+				for a := 0; a < 2; a++ {
+					for b := 0; b < 2; b++ {
+						if g.Win(x, y, a, b) {
+							v += g.Prob[x][y] * bellProb(alice[x], bob[y], a, b)
+						}
+					}
+				}
+			}
+		}
+		return v
+	}
+
+	prev := -1.0
+	for iter := 0; iter < 500; iter++ {
+		// Alice best response: maximize Tr[A_x (R_x^0 − R_x^1)] over
+		// projectors A_x, where R_x^a = Σ_{y,b: win} π(x,y)·T(B_y^b) and
+		// T(B) = Bᵀ/2 is the Alice-side operator of Bob's effect.
+		for x := 0; x < g.NA; x++ {
+			diff := linalg.NewMat(2, 2)
+			for y := 0; y < g.NB; y++ {
+				if g.Prob[x][y] == 0 {
+					continue
+				}
+				for b := 0; b < 2; b++ {
+					eff := bobEffect(bob[y], b)
+					t := eff.Transpose().Scale(complex(g.Prob[x][y]/2, 0))
+					if g.Win(x, y, 0, b) {
+						diff = diff.Add(t)
+					}
+					if g.Win(x, y, 1, b) {
+						diff = diff.Sub(t)
+					}
+				}
+			}
+			alice[x] = positiveEigenprojector(diff)
+		}
+		// Bob best response, symmetrically: for A acting on Alice's side,
+		// Tr_A[(A ⊗ I)|Φ+⟩⟨Φ+|] = Aᵀ/2.
+		for y := 0; y < g.NB; y++ {
+			diff := linalg.NewMat(2, 2)
+			for x := 0; x < g.NA; x++ {
+				if g.Prob[x][y] == 0 {
+					continue
+				}
+				for a := 0; a < 2; a++ {
+					eff := bobEffect(alice[x], a)
+					t := eff.Transpose().Scale(complex(g.Prob[x][y]/2, 0))
+					if g.Win(x, y, a, 0) {
+						diff = diff.Add(t)
+					}
+					if g.Win(x, y, a, 1) {
+						diff = diff.Sub(t)
+					}
+				}
+			}
+			bob[y] = positiveEigenprojector(diff)
+		}
+		v := value()
+		if v-prev < 1e-12 {
+			break
+		}
+		prev = v
+	}
+	return SeeSawResult{Value: value(), AliceProj: alice, BobProj: bob}
+}
+
+// bellProb returns P(a, b | projectors) on the Bell pair:
+// Tr[(A^a ⊗ B^b)|Φ+⟩⟨Φ+|] = Tr[A^a (B^b)ᵀ]/2.
+func bellProb(aliceProj, bobProj *linalg.Mat, a, b int) float64 {
+	ea := bobEffect(aliceProj, a)
+	eb := bobEffect(bobProj, b)
+	return real(ea.Mul(eb.Transpose()).Trace()) / 2
+}
+
+// bobEffect returns the effect operator for outcome o given the outcome-0
+// projector p: p itself for o = 0, I − p for o = 1.
+func bobEffect(p *linalg.Mat, o int) *linalg.Mat {
+	if o == 0 {
+		return p
+	}
+	return linalg.Identity(2).Sub(p)
+}
+
+// positiveEigenprojector returns the projector onto the strictly positive
+// eigenspace of a 2×2 Hermitian matrix.
+func positiveEigenprojector(h *linalg.Mat) *linalg.Mat {
+	// Hermitize numerical dust before decomposing.
+	hh := h.Add(h.Dagger()).Scale(0.5)
+	eig := linalg.EigHermitian(hh)
+	out := linalg.NewMat(2, 2)
+	for k, v := range eig.Values {
+		if v > 0 {
+			col := linalg.Vec{eig.Vectors.At(0, k), eig.Vectors.At(1, k)}
+			out = out.Add(col.Outer(col))
+		}
+	}
+	return out
+}
+
+func randomProjector(rng *xrand.RNG) *linalg.Mat {
+	v := linalg.Vec{
+		complex(rng.NormFloat64(), rng.NormFloat64()),
+		complex(rng.NormFloat64(), rng.NormFloat64()),
+	}
+	v.Normalize()
+	return v.Outer(v)
+}
+
+// BehaviorFromProjectors converts a see-saw strategy into the conditional
+// distribution P[x][y][a][b] for scoring or sampling.
+func (r SeeSawResult) BehaviorFromProjectors(na, nb int) [][][][]float64 {
+	p := make([][][][]float64, na)
+	for x := 0; x < na; x++ {
+		p[x] = make([][][]float64, nb)
+		for y := 0; y < nb; y++ {
+			p[x][y] = make([][]float64, 2)
+			for a := 0; a < 2; a++ {
+				p[x][y][a] = make([]float64, 2)
+				for b := 0; b < 2; b++ {
+					p[x][y][a][b] = bellProb(r.AliceProj[x], r.BobProj[y], a, b)
+				}
+			}
+		}
+	}
+	return p
+}
+
+// VerifyBehaviorNoSignaling checks that a behavior's marginals are
+// input-independent — every physical strategy must pass. Returns the largest
+// violation found.
+func VerifyBehaviorNoSignaling(p [][][][]float64) float64 {
+	var worst float64
+	na := len(p)
+	if na == 0 {
+		return 0
+	}
+	nb := len(p[0])
+	// Alice's marginal must not depend on y.
+	for x := 0; x < na; x++ {
+		for a := 0; a < 2; a++ {
+			ref := p[x][0][a][0] + p[x][0][a][1]
+			for y := 1; y < nb; y++ {
+				m := p[x][y][a][0] + p[x][y][a][1]
+				if d := math.Abs(m - ref); d > worst {
+					worst = d
+				}
+			}
+		}
+	}
+	// Bob's marginal must not depend on x.
+	for y := 0; y < nb; y++ {
+		for b := 0; b < 2; b++ {
+			ref := p[0][y][0][b] + p[0][y][1][b]
+			for x := 1; x < na; x++ {
+				m := p[x][y][0][b] + p[x][y][1][b]
+				if d := math.Abs(m - ref); d > worst {
+					worst = d
+				}
+			}
+		}
+	}
+	return worst
+}
+
+// ExactBellValue scores a set of real measurement angles on a Werner state
+// of the given visibility against an arbitrary general game — the bridge
+// between GeneralGame and the physical simulator.
+func (g *GeneralGame) ExactBellValue(anglesA, anglesB []float64, visibility float64) float64 {
+	if g.KA != 2 || g.KB != 2 {
+		panic("games: ExactBellValue supports binary outputs only")
+	}
+	state := qsim.Werner(visibility)
+	var v float64
+	for x := 0; x < g.NA; x++ {
+		for y := 0; y < g.NB; y++ {
+			if g.Prob[x][y] == 0 {
+				continue
+			}
+			dist := state.OutcomeDistribution([]qsim.Basis{
+				qsim.RotatedReal(anglesA[x]), qsim.RotatedReal(anglesB[y]),
+			})
+			for o, p := range dist {
+				if g.Win(x, y, o>>1&1, o&1) {
+					v += g.Prob[x][y] * p
+				}
+			}
+		}
+	}
+	return v
+}

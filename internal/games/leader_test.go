@@ -1,0 +1,91 @@
+package games
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestClassicalLeaderElectionValue(t *testing.T) {
+	if ClassicalLeaderElectionValue(1) != 1 {
+		t.Fatal("one party always elects itself")
+	}
+	// n=2: 2·(1/2)·(1/2) = 1/2.
+	if math.Abs(ClassicalLeaderElectionValue(2)-0.5) > 1e-12 {
+		t.Fatalf("n=2 value %v", ClassicalLeaderElectionValue(2))
+	}
+	// Large n → 1/e.
+	if math.Abs(ClassicalLeaderElectionValue(1000)-1/math.E) > 1e-3 {
+		t.Fatalf("n→∞ limit %v", ClassicalLeaderElectionValue(1000))
+	}
+	// Monotone decreasing in n.
+	for n := 2; n < 10; n++ {
+		if ClassicalLeaderElectionValue(n+1) >= ClassicalLeaderElectionValue(n) {
+			t.Fatal("classical value should decrease with n")
+		}
+	}
+}
+
+func TestQuantumLeaderElectionAlwaysSucceeds(t *testing.T) {
+	rng := xrand.New(120, 1)
+	for _, n := range []int{2, 3, 5, 8} {
+		for r := 0; r < 500; r++ {
+			leader := LeaderElection(n, rng)
+			if leader < 0 || leader >= n {
+				t.Fatalf("leader %d out of range for n=%d", leader, n)
+			}
+		}
+	}
+}
+
+func TestQuantumLeaderElectionIsFair(t *testing.T) {
+	rng := xrand.New(121, 1)
+	st := RunLeaderElection(4, 40000, rng)
+	if st.QuantumSuccess != 1 {
+		t.Fatalf("quantum success %v, must be 1", st.QuantumSuccess)
+	}
+	if st.QuantumFairness > 0.02 {
+		t.Fatalf("leader distribution deviates from uniform by %v", st.QuantumFairness)
+	}
+}
+
+func TestClassicalLeaderElectionMatchesFormula(t *testing.T) {
+	rng := xrand.New(122, 1)
+	st := RunLeaderElection(5, 60000, rng)
+	want := ClassicalLeaderElectionValue(5)
+	if math.Abs(st.ClassicalSuccess-want) > 0.01 {
+		t.Fatalf("classical success %v, formula %v", st.ClassicalSuccess, want)
+	}
+	// The gap is the quantum win: 1 vs ~0.41 at n=5.
+	if st.QuantumSuccess-st.ClassicalSuccess < 0.5 {
+		t.Fatalf("election gap %v suspiciously small",
+			st.QuantumSuccess-st.ClassicalSuccess)
+	}
+}
+
+func TestClassicalLeaderElectionOkSemantics(t *testing.T) {
+	rng := xrand.New(123, 1)
+	sawOK, sawFail := false, false
+	for i := 0; i < 200 && !(sawOK && sawFail); i++ {
+		leader, ok := ClassicalLeaderElection(3, rng)
+		if ok && (leader < 0 || leader >= 3) {
+			t.Fatalf("ok round returned bad leader %d", leader)
+		}
+		if ok {
+			sawOK = true
+		} else {
+			sawFail = true
+		}
+	}
+	if !sawOK || !sawFail {
+		t.Fatal("expected both outcomes over 200 rounds at n=3")
+	}
+}
+
+func BenchmarkLeaderElection5(b *testing.B) {
+	rng := xrand.New(1, 30)
+	for i := 0; i < b.N; i++ {
+		LeaderElection(5, rng)
+	}
+}

@@ -1,0 +1,147 @@
+package games
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+func TestMerminGHZClassicalValue(t *testing.T) {
+	v := MerminGHZ().ClassicalValue()
+	if math.Abs(v-0.75) > tol {
+		t.Fatalf("Mermin-GHZ classical value = %v, want 0.75", v)
+	}
+}
+
+func TestMerminGHZQuantumWinsAlways(t *testing.T) {
+	// The GHZ strategy is pseudo-telepathic: it wins with probability 1 —
+	// the multiparty advantage the paper says is "larger than in the
+	// two-party case" (0.25 gap vs ~0.104).
+	rng := xrand.New(20, 1)
+	s := NewGHZSampler(3, rng)
+	v := s.ExactValue(MerminGHZ())
+	if math.Abs(v-1) > tol {
+		t.Fatalf("GHZ strategy exact value = %v, want 1", v)
+	}
+}
+
+func TestMerminGHZEmpirical(t *testing.T) {
+	rng := xrand.New(21, 1)
+	g := MerminGHZ()
+	s := NewGHZSampler(3, rng)
+	v := g.EmpiricalValue(s, 2000, rng)
+	if v != 1 {
+		t.Fatalf("GHZ strategy lost a round: empirical value %v", v)
+	}
+}
+
+func TestMerminGHZValidation(t *testing.T) {
+	g := MerminGHZ()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Players != 3 || len(g.Inputs) != 4 {
+		t.Fatal("Mermin-GHZ structure wrong")
+	}
+}
+
+func TestNPartyValidateCatchesErrors(t *testing.T) {
+	bad := &NPartyXORGame{Name: "bad", Players: 2,
+		Inputs: []int{0, 5}, Prob: []float64{0.5, 0.5}, Parity: []int{0, 0}}
+	if bad.Validate() == nil {
+		t.Fatal("expected out-of-range input error")
+	}
+	bad2 := &NPartyXORGame{Name: "bad2", Players: 2,
+		Inputs: []int{0, 1}, Prob: []float64{0.5, 0.4}, Parity: []int{0, 0}}
+	if bad2.Validate() == nil {
+		t.Fatal("expected normalization error")
+	}
+}
+
+func TestNPartyWins(t *testing.T) {
+	g := MerminGHZ()
+	// Input 000 (index 0) needs parity 0.
+	if !g.Wins(0, 0b000) || !g.Wins(0, 0b011) {
+		t.Fatal("even-parity answers should win input 000")
+	}
+	if g.Wins(0, 0b001) {
+		t.Fatal("odd-parity answer should lose input 000")
+	}
+	// Input 011 (index 1) needs parity 1.
+	if !g.Wins(1, 0b001) || g.Wins(1, 0b000) {
+		t.Fatal("input 011 scoring wrong")
+	}
+}
+
+func TestNPartySampleInput(t *testing.T) {
+	g := MerminGHZ()
+	rng := xrand.New(22, 1)
+	counts := map[int]int{}
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		counts[g.SampleInput(rng)]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("saw %d distinct inputs, want 4", len(counts))
+	}
+	for in, c := range counts {
+		if math.Abs(float64(c)/trials-0.25) > 0.01 {
+			t.Fatalf("input %03b rate %v", in, float64(c)/trials)
+		}
+	}
+}
+
+func TestClassicalBoundHoldsForRandomClassicalStrategies(t *testing.T) {
+	// No classical strategy — however crafted — may beat 0.75 on Mermin-GHZ.
+	rng := xrand.New(23, 1)
+	g := MerminGHZ()
+	for trial := 0; trial < 20; trial++ {
+		tables := [3][2]int{}
+		for p := 0; p < 3; p++ {
+			tables[p][0] = rng.IntN(2)
+			tables[p][1] = rng.IntN(2)
+		}
+		var p stats.Proportion
+		for i, joint := range g.Inputs {
+			parity := 0
+			for pl := 0; pl < 3; pl++ {
+				in := joint >> (2 - pl) & 1
+				parity ^= tables[pl][in]
+			}
+			win := parity == g.Parity[i]
+			// Uniform inputs: each of the 4 counts once.
+			p.Add(win)
+		}
+		if p.Rate() > 0.75+tol {
+			t.Fatalf("deterministic strategy %v beats the classical bound: %v", tables, p.Rate())
+		}
+	}
+}
+
+func TestGHZSamplerFourPlayers(t *testing.T) {
+	// The sampler generalizes to more players; outputs must be ±uniform.
+	rng := xrand.New(24, 1)
+	s := NewGHZSampler(4, rng)
+	ones := 0
+	const rounds = 5000
+	for i := 0; i < rounds; i++ {
+		o := s.Sample(0b0000, rng)
+		ones += o & 1
+	}
+	rate := float64(ones) / rounds
+	if math.Abs(rate-0.5) > 0.03 {
+		t.Fatalf("player 3 output marginal %v", rate)
+	}
+}
+
+func BenchmarkGHZSamplerRound(b *testing.B) {
+	rng := xrand.New(1, 6)
+	s := NewGHZSampler(3, rng)
+	g := MerminGHZ()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(g.Inputs[i%4], rng)
+	}
+}

@@ -1,0 +1,150 @@
+package games
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// Property-based tests over randomly generated games: the structural
+// invariants every game and solver must satisfy regardless of instance.
+
+// genGame derives a random XOR game from arbitrary quick-generated inputs.
+func genGame(seed uint64, nRaw uint8, pRaw float64) *XORGame {
+	n := 3 + int(nRaw%4) // 3..6 vertices
+	p := math.Abs(math.Mod(pRaw, 1))
+	if math.IsNaN(p) {
+		p = 0.5
+	}
+	rng := xrand.New(seed, 0x9a3e)
+	return RandomGraphXORGame(n, p, rng)
+}
+
+func TestQuickValuesWithinUnitInterval(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, pRaw float64) bool {
+		g := genGame(seed, nRaw, pRaw)
+		rng := xrand.New(seed, 1)
+		c := g.ClassicalValue()
+		q := g.QuantumValue(rng)
+		return c.Value >= 0 && c.Value <= 1 && q.Value >= 0 && q.Value <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickQuantumDominatesClassical(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, pRaw float64) bool {
+		g := genGame(seed, nRaw, pRaw)
+		rng := xrand.New(seed, 2)
+		return g.QuantumValue(rng).Bias >= g.ClassicalValue().Bias-1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickClassicalAtLeastHalf(t *testing.T) {
+	// Any XOR game has classical value ≥ 1/2: a random-coin strategy wins
+	// each round with probability 1/2, and the best deterministic strategy
+	// is at least as good.
+	f := func(seed uint64, nRaw uint8, pRaw float64) bool {
+		g := genGame(seed, nRaw, pRaw)
+		return g.ClassicalValue().Value >= 0.5-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSamplerBehaviorIsPhysical(t *testing.T) {
+	// Every quantum sampler's behavior is a valid no-signaling conditional
+	// distribution at any visibility.
+	f := func(seed uint64, nRaw uint8, pRaw float64, visRaw float64) bool {
+		g := genGame(seed, nRaw, pRaw)
+		rng := xrand.New(seed, 3)
+		vis := math.Abs(math.Mod(visRaw, 1))
+		if math.IsNaN(vis) {
+			vis = 0.9
+		}
+		b := g.QuantumValue(rng).QuantumSampler(vis).Behavior(g.NA, g.NB)
+		if VerifyBehaviorNoSignaling(b) > 1e-9 {
+			return false
+		}
+		for x := range b {
+			for y := range b[x] {
+				var sum float64
+				for a := 0; a < 2; a++ {
+					for bb := 0; bb < 2; bb++ {
+						if b[x][y][a][bb] < -1e-12 {
+							return false
+						}
+						sum += b[x][y][a][bb]
+					}
+				}
+				if math.Abs(sum-1) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBestClassicalAchievesItsValue(t *testing.T) {
+	// The strategy extracted by ClassicalValue scores exactly its reported
+	// value when replayed.
+	f := func(seed uint64, nRaw uint8, pRaw float64) bool {
+		g := genGame(seed, nRaw, pRaw)
+		c := g.ClassicalValue()
+		var v float64
+		for x := 0; x < g.NA; x++ {
+			for y := 0; y < g.NB; y++ {
+				if g.Prob[x][y] > 0 && g.Wins(x, y, c.A[x], c.B[y]) {
+					v += g.Prob[x][y]
+				}
+			}
+		}
+		return math.Abs(v-c.Value) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPlanarNeverBeatsFullRank(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, pRaw float64) bool {
+		g := genGame(seed, nRaw, pRaw)
+		rng := xrand.New(seed, 4)
+		_, q2 := g.PlanarRealize(rng)
+		full := g.QuantumValue(rng)
+		return q2.Value <= full.Value+1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBiasedGamesStayOrdered(t *testing.T) {
+	// For any product bias, classical ≤ quantum ≤ 1 and both ≥ 1/2.
+	f := func(seed uint64, paRaw, pbRaw float64) bool {
+		pa := math.Abs(math.Mod(paRaw, 1))
+		pb := math.Abs(math.Mod(pbRaw, 1))
+		if math.IsNaN(pa) || math.IsNaN(pb) {
+			return true
+		}
+		g := BiasedColocationGame(pa, pb)
+		rng := xrand.New(seed, 5)
+		c := g.ClassicalValue().Value
+		q := g.QuantumValue(rng).Value
+		return c >= 0.5-1e-12 && q >= c-1e-7 && q <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-10
+
+func TestVecDot(t *testing.T) {
+	v := Vec{1, 2i}
+	w := Vec{3, 4}
+	// ⟨v|w⟩ = conj(1)*3 + conj(2i)*4 = 3 − 8i
+	got := v.Dot(w)
+	if cmplx.Abs(got-(3-8i)) > tol {
+		t.Fatalf("Dot = %v, want 3-8i", got)
+	}
+}
+
+func TestVecDotConjugateSymmetry(t *testing.T) {
+	v := Vec{1 + 2i, 3 - 1i, 0.5i}
+	w := Vec{-2i, 1 + 1i, 4}
+	if cmplx.Abs(v.Dot(w)-cmplx.Conj(w.Dot(v))) > tol {
+		t.Fatalf("⟨v|w⟩ != conj(⟨w|v⟩)")
+	}
+}
+
+func TestVecDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Vec{1}.Dot(Vec{1, 2})
+}
+
+func TestVecNormAndNormalize(t *testing.T) {
+	v := Vec{3, 4i}
+	if math.Abs(v.Norm()-5) > tol {
+		t.Fatalf("Norm = %v, want 5", v.Norm())
+	}
+	v.Normalize()
+	if math.Abs(v.Norm()-1) > tol {
+		t.Fatalf("normalized norm = %v", v.Norm())
+	}
+}
+
+func TestNormalizeZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic normalizing zero vector")
+		}
+	}()
+	Vec{0, 0}.Normalize()
+}
+
+func TestVecAddSub(t *testing.T) {
+	v := Vec{1, 2}
+	w := Vec{3, -1i}
+	sum := v.Add(w)
+	if cmplx.Abs(sum[0]-4) > tol || cmplx.Abs(sum[1]-(2-1i)) > tol {
+		t.Fatalf("Add wrong: %v", sum)
+	}
+	diff := sum.Sub(w)
+	if !diff.ApproxEqual(v, tol) {
+		t.Fatalf("Sub did not invert Add: %v", diff)
+	}
+}
+
+func TestVecKron(t *testing.T) {
+	v := Vec{1, 2}
+	w := Vec{0, 3i}
+	k := v.Kron(w)
+	want := Vec{0, 3i, 0, 6i}
+	if !k.ApproxEqual(want, tol) {
+		t.Fatalf("Kron = %v, want %v", k, want)
+	}
+}
+
+// squash maps an arbitrary float (including ±Inf/NaN from testing/quick)
+// into a bounded, well-behaved range for numerical property tests.
+func squash(x float64) float64 {
+	if math.IsNaN(x) {
+		return 0
+	}
+	return 10 * math.Tanh(x/10)
+}
+
+func TestVecKronNormMultiplicative(t *testing.T) {
+	f := func(a1, a2, b1, b2, b3 float64) bool {
+		a1, a2, b1, b2, b3 = squash(a1), squash(a2), squash(b1), squash(b2), squash(b3)
+		v := Vec{complex(a1, a2), complex(a2, -a1)}
+		w := Vec{complex(b1, 0), complex(b2, b3), complex(b3, b1)}
+		return math.Abs(v.Kron(w).Norm()-v.Norm()*w.Norm()) < 1e-6*(1+v.Norm()*w.Norm())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOuterProduct(t *testing.T) {
+	v := Vec{1, 0}
+	m := v.Outer(v)
+	if cmplx.Abs(m.At(0, 0)-1) > tol || cmplx.Abs(m.At(1, 1)) > tol {
+		t.Fatalf("outer |0><0| wrong: %v", m)
+	}
+	// |v><w| applied to w with unit w returns v.
+	w := Vec{complex(1/math.Sqrt2, 0), complex(0, 1/math.Sqrt2)}
+	p := w.Outer(w)
+	got := p.MulVec(w)
+	if !got.ApproxEqual(w, tol) {
+		t.Fatalf("projector did not fix its own vector: %v", got)
+	}
+}
+
+func TestVecScaleClone(t *testing.T) {
+	v := Vec{1, 1}
+	c := v.Clone()
+	v.Scale(2)
+	if cmplx.Abs(c[0]-1) > tol {
+		t.Fatal("Clone aliases underlying array")
+	}
+	if cmplx.Abs(v[0]-2) > tol {
+		t.Fatal("Scale failed")
+	}
+}
+
+func TestRVecBasics(t *testing.T) {
+	v := RVec{3, 4}
+	if math.Abs(v.Norm()-5) > tol {
+		t.Fatalf("RVec.Norm = %v", v.Norm())
+	}
+	v.Normalize()
+	if math.Abs(v.Norm()-1) > tol {
+		t.Fatalf("RVec normalize = %v", v.Norm())
+	}
+	w := RVec{1, 0}
+	if math.Abs(v.Dot(w)-0.6) > tol {
+		t.Fatalf("RVec.Dot = %v, want 0.6", v.Dot(w))
+	}
+}
+
+func TestRVecNormalizeZeroIsNoop(t *testing.T) {
+	v := RVec{0, 0}
+	v.Normalize()
+	if v[0] != 0 || v[1] != 0 {
+		t.Fatal("zero RVec should be left unchanged")
+	}
+}
+
+func TestRVecAddScaled(t *testing.T) {
+	v := RVec{1, 2}
+	v.AddScaled(3, RVec{1, -1})
+	if v[0] != 4 || v[1] != -1 {
+		t.Fatalf("AddScaled = %v", v)
+	}
+}
+
+func TestCauchySchwarzProperty(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		v := RVec{squash(a), squash(b)}
+		w := RVec{squash(c), squash(d)}
+		return math.Abs(v.Dot(w)) <= v.Norm()*w.Norm()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,305 @@
+// Package loadbalance implements the paper's §4.1 simulation (Figure 4):
+// N load balancers forward type-C / type-E tasks to M servers each time
+// slot; servers batch-process pairs of type-C tasks but serve type-E tasks
+// one at a time; the measured quantity is average queue length (and queueing
+// delay) as a function of the load ratio N/M.
+//
+// Strategies range from the paper's two protagonists — classical uniform
+// random and quantum CHSH-paired — to the context baselines: round-robin,
+// power-of-two-choices, the best classical paired strategy (isolating how
+// much of the quantum win comes from pairing alone), a dedicated-server
+// hybrid, and a full-communication oracle upper bound.
+package loadbalance
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// Discipline selects the servers' service rule per time slot.
+type Discipline int
+
+const (
+	// BatchCFirst is the paper's rule: if any type-C tasks are queued,
+	// serve up to two of them simultaneously; otherwise serve one type-E.
+	BatchCFirst Discipline = iota
+	// SingleCFirst serves one task per slot with type-C priority — no
+	// batching, so colocation should yield no benefit (ablation).
+	SingleCFirst
+	// FIFOBatch serves strictly in arrival order, but when the head-of-line
+	// task is type-C the next queued type-C (if any) rides along in the
+	// same slot.
+	FIFOBatch
+	// EFirst serves one type-E if any are queued, else up to two type-C —
+	// the reversed priority ablation (footnote 2: the advantage is robust
+	// to other server execution strategies).
+	EFirst
+	// BatchSameClassC batches two type-C tasks only when they belong to the
+	// SAME class (shared texture/cache) — the multi-class regime where
+	// different caching classes pollute each other.
+	BatchSameClassC
+)
+
+// String names the discipline for reports.
+func (d Discipline) String() string {
+	switch d {
+	case BatchCFirst:
+		return "batch-C-first"
+	case SingleCFirst:
+		return "single-C-first"
+	case FIFOBatch:
+		return "fifo-batch"
+	case EFirst:
+		return "E-first"
+	case BatchSameClassC:
+		return "batch-same-class-C"
+	default:
+		return fmt.Sprintf("Discipline(%d)", int(d))
+	}
+}
+
+// queued is one waiting task with its arrival slot (for delay accounting).
+type queued struct {
+	task        workload.Task
+	arrivalSlot int
+}
+
+// Server holds a FIFO queue of tasks.
+type Server struct {
+	queue []queued
+}
+
+// Len returns the server's queue length.
+func (s *Server) Len() int { return len(s.queue) }
+
+// serve applies one slot of the discipline, removing the served tasks and
+// returning them.
+func (s *Server) serve(d Discipline) []queued {
+	if len(s.queue) == 0 {
+		return nil
+	}
+	switch d {
+	case BatchCFirst:
+		if idx := s.firstOfType(workload.TypeC); idx >= 0 {
+			first := s.remove(idx)
+			out := []queued{first}
+			if idx2 := s.firstOfType(workload.TypeC); idx2 >= 0 {
+				out = append(out, s.remove(idx2))
+			}
+			return out
+		}
+		return []queued{s.remove(0)}
+	case SingleCFirst:
+		if idx := s.firstOfType(workload.TypeC); idx >= 0 {
+			return []queued{s.remove(idx)}
+		}
+		return []queued{s.remove(0)}
+	case FIFOBatch:
+		head := s.remove(0)
+		out := []queued{head}
+		if head.task.Type == workload.TypeC {
+			if idx := s.firstOfType(workload.TypeC); idx >= 0 {
+				out = append(out, s.remove(idx))
+			}
+		}
+		return out
+	case EFirst:
+		if idx := s.firstOfType(workload.TypeE); idx >= 0 {
+			return []queued{s.remove(idx)}
+		}
+		out := []queued{s.remove(0)}
+		if idx := s.firstOfType(workload.TypeC); idx >= 0 {
+			out = append(out, s.remove(idx))
+		}
+		return out
+	case BatchSameClassC:
+		if idx := s.firstOfType(workload.TypeC); idx >= 0 {
+			first := s.remove(idx)
+			out := []queued{first}
+			if idx2 := s.firstOfClass(workload.TypeC, first.task.Class); idx2 >= 0 {
+				out = append(out, s.remove(idx2))
+			}
+			return out
+		}
+		return []queued{s.remove(0)}
+	default:
+		panic("loadbalance: unknown discipline")
+	}
+}
+
+func (s *Server) firstOfType(t workload.TaskType) int {
+	for i, q := range s.queue {
+		if q.task.Type == t {
+			return i
+		}
+	}
+	return -1
+}
+
+func (s *Server) firstOfClass(t workload.TaskType, class int) int {
+	for i, q := range s.queue {
+		if q.task.Type == t && q.task.Class == class {
+			return i
+		}
+	}
+	return -1
+}
+
+func (s *Server) remove(i int) queued {
+	q := s.queue[i]
+	s.queue = append(s.queue[:i], s.queue[i+1:]...)
+	return q
+}
+
+// View is the (possibly stale) cluster state a strategy may consult.
+// Queue lengths are as of the end of the previous slot — information a
+// balancer could realistically have from periodic polling, unlike the
+// instantaneous global state only the oracle sees.
+type View interface {
+	NumServers() int
+	QueueLen(server int) int
+}
+
+// Strategy assigns each balancer's task to a server for one slot.
+type Strategy interface {
+	Name() string
+	// Assign returns one server index per task. tasks[i] belongs to
+	// balancer i. Implementations must not retain the slice.
+	Assign(tasks []workload.Task, view View, rng *xrand.RNG) []int
+}
+
+// ColocationTracker is implemented by paired strategies that can report how
+// often the colocation preference was satisfied.
+type ColocationTracker interface {
+	ColocationStats() *stats.Proportion
+}
+
+// Config parametrizes one simulation run.
+type Config struct {
+	NumBalancers int
+	NumServers   int
+	// Warmup slots are simulated but not measured; Slots are measured.
+	Warmup, Slots int
+	Discipline    Discipline
+	Workload      workload.Generator
+	Seed          uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.NumBalancers <= 0 || c.NumServers <= 0 {
+		return fmt.Errorf("loadbalance: need positive balancer and server counts")
+	}
+	if c.Slots <= 0 || c.Warmup < 0 {
+		return fmt.Errorf("loadbalance: need positive measured slots")
+	}
+	if c.Workload == nil {
+		return fmt.Errorf("loadbalance: nil workload")
+	}
+	return nil
+}
+
+// Result aggregates a run's measurements.
+type Result struct {
+	Strategy    string
+	Load        float64       // N/M
+	QueueLen    stats.Welford // mean queue length per server per slot
+	Delay       stats.Welford // slots between arrival and service
+	Arrived     int64
+	Served      int64
+	QueuedAtEnd int64
+	// Colocation is the paired strategies' preference-satisfaction rate
+	// (zero-valued for strategies that do not track it).
+	Colocation stats.Proportion
+	// QueueLenBM carries the autocorrelation-aware (batch means) estimate
+	// of the mean queue length; its CI is the honest one to report near
+	// saturation, where slot-to-slot queue samples are strongly correlated.
+	QueueLenBM *stats.BatchMeans
+}
+
+// clusterView implements View over the servers' previous-slot queue lengths.
+type clusterView struct{ lens []int }
+
+func (v *clusterView) NumServers() int         { return len(v.lens) }
+func (v *clusterView) QueueLen(server int) int { return v.lens[server] }
+
+// Run executes the simulation and returns aggregated metrics. The run is
+// deterministic in (Config.Seed, strategy).
+func Run(cfg Config, strat Strategy) Result {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	rng := xrand.New(cfg.Seed, 0x10adba1)
+	servers := make([]Server, cfg.NumServers)
+	view := &clusterView{lens: make([]int, cfg.NumServers)}
+	tasks := make([]workload.Task, cfg.NumBalancers)
+
+	res := Result{
+		Strategy: strat.Name(),
+		Load:     float64(cfg.NumBalancers) / float64(cfg.NumServers),
+		// Batch size 200 slots comfortably exceeds the queue correlation
+		// time at the loads the experiments sweep.
+		QueueLenBM: stats.NewBatchMeans(200),
+	}
+
+	total := cfg.Warmup + cfg.Slots
+	for slot := 0; slot < total; slot++ {
+		measured := slot >= cfg.Warmup
+
+		// 1. Arrivals.
+		for i := range tasks {
+			tasks[i] = cfg.Workload.Next(i, rng)
+		}
+
+		// 2. Assignment.
+		assign := strat.Assign(tasks, view, rng)
+		if len(assign) != len(tasks) {
+			panic(fmt.Sprintf("loadbalance: strategy %s returned %d assignments for %d tasks",
+				strat.Name(), len(assign), len(tasks)))
+		}
+		for i, srv := range assign {
+			if srv < 0 || srv >= cfg.NumServers {
+				panic(fmt.Sprintf("loadbalance: strategy %s assigned out-of-range server %d", strat.Name(), srv))
+			}
+			servers[srv].queue = append(servers[srv].queue, queued{task: tasks[i], arrivalSlot: slot})
+			if measured {
+				res.Arrived++
+			}
+		}
+
+		// 3. Service.
+		for s := range servers {
+			for _, done := range servers[s].serve(cfg.Discipline) {
+				if measured {
+					res.Served++
+					res.Delay.Add(float64(slot - done.arrivalSlot))
+				}
+			}
+		}
+
+		// 4. Measurement + refresh the stale view.
+		slotTotal := 0
+		for s := range servers {
+			l := servers[s].Len()
+			view.lens[s] = l
+			slotTotal += l
+			if measured {
+				res.QueueLen.Add(float64(l))
+			}
+		}
+		if measured {
+			res.QueueLenBM.Add(float64(slotTotal) / float64(cfg.NumServers))
+		}
+	}
+
+	for s := range servers {
+		res.QueuedAtEnd += int64(servers[s].Len())
+	}
+	if ct, ok := strat.(ColocationTracker); ok {
+		res.Colocation = *ct.ColocationStats()
+	}
+	return res
+}

@@ -1,0 +1,76 @@
+package loadbalance
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// StrategyFactory builds a fresh strategy per sweep point (strategies carry
+// per-run state such as round-robin counters and colocation statistics).
+type StrategyFactory func() Strategy
+
+// SweepLoad regenerates a Figure 4 series: it holds NumBalancers fixed and
+// varies the server count so the load ratio N/M traverses `loads`, running
+// one simulation per point and recording mean queue length with its 95% CI.
+func SweepLoad(base Config, factory StrategyFactory, loads []float64) stats.Series {
+	var series stats.Series
+	for _, load := range loads {
+		cfg := base
+		cfg.NumServers = serversForLoad(base.NumBalancers, load)
+		r := Run(cfg, factory())
+		if series.Name == "" {
+			series.Name = r.Strategy
+		}
+		// Report the autocorrelation-aware CI (batch means): queue samples
+		// are strongly correlated slot-to-slot near saturation, so the
+		// naive per-sample CI would be misleadingly tight.
+		ci := r.QueueLenBM.CI95()
+		if math.IsInf(ci, 1) {
+			ci = r.QueueLen.CI95()
+		}
+		series.Append(r.Load, r.QueueLen.Mean(), ci)
+	}
+	return series
+}
+
+// SweepDelay is SweepLoad but records mean queueing delay (Figure 4's
+// caption metric) instead of queue length.
+func SweepDelay(base Config, factory StrategyFactory, loads []float64) stats.Series {
+	var series stats.Series
+	for _, load := range loads {
+		cfg := base
+		cfg.NumServers = serversForLoad(base.NumBalancers, load)
+		r := Run(cfg, factory())
+		if series.Name == "" {
+			series.Name = r.Strategy
+		}
+		series.Append(r.Load, r.Delay.Mean(), r.Delay.CI95())
+	}
+	return series
+}
+
+// serversForLoad returns M so that N/M ≈ load, clamped to at least 2 (the
+// paired strategies need two distinct servers to choose between).
+func serversForLoad(n int, load float64) int {
+	m := int(math.Round(float64(n) / load))
+	if m < 2 {
+		m = 2
+	}
+	return m
+}
+
+// TheoreticalKnees returns the saturation loads implied by the paper's
+// service discipline for the two protagonist strategies, used to sanity-
+// check the measured curves:
+//
+//   - classical random: single type-C tasks usually ride alone in a service
+//     slot, so a server needs ~λ/2 slots for C work and λ/2 for E work per
+//     slot of arrivals — saturation near λ = 1.
+//   - perfect colocation: type-C tasks arrive pre-paired and consume λ/4
+//     slots, saturation at λ = 4/3.
+//
+// The quantum strategy lands between: it pairs C's with probability
+// cos²(π/8) instead of 1, so its knee sits between 1 and 4/3, and closer to
+// the latter.
+func TheoreticalKnees() (classical, perfect float64) { return 1.0, 4.0 / 3.0 }

@@ -1,0 +1,130 @@
+// Package netsim is a small discrete-event network simulator used for the
+// paper's timing arguments (Figure 2): classical messages crossing links
+// incur speed-of-light propagation delay, while decisions backed by
+// pre-shared entangled qubits complete locally. The engine is deterministic:
+// identical schedules replay identically.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Engine is a discrete-event scheduler. The zero value is ready to use.
+type Engine struct {
+	now     time.Duration
+	events  eventHeap
+	seq     uint64
+	stopped bool
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64 // FIFO tie-break for simultaneous events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event   { return h[0] }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.events.Len() }
+
+// Schedule queues fn to run delay after the current simulated time.
+// Negative delays panic: the simulator enforces causality.
+func (e *Engine) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("netsim: scheduling into the past (delay %v)", delay))
+	}
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt queues fn at an absolute simulated time, which must not precede
+// the current time.
+func (e *Engine) ScheduleAt(at time.Duration, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("netsim: scheduling into the past (at %v, now %v)", at, e.now))
+	}
+	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// Step executes the next event, advancing the clock. It returns false when
+// no events remain.
+func (e *Engine) Step() bool {
+	if e.events.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	if ev.at < e.now {
+		panic("netsim: causality violation — event timestamp before current time")
+	}
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain or Stop is called. maxEvents bounds
+// runaway simulations (0 means no bound).
+func (e *Engine) Run(maxEvents int) int {
+	e.stopped = false
+	n := 0
+	for !e.stopped && e.Step() {
+		n++
+		if maxEvents > 0 && n >= maxEvents {
+			break
+		}
+	}
+	return n
+}
+
+// RunUntil executes events with timestamps ≤ t, then sets the clock to t.
+func (e *Engine) RunUntil(t time.Duration) {
+	e.stopped = false
+	for !e.stopped && e.events.Len() > 0 && e.events.peek().at <= t {
+		e.Step()
+	}
+	if !e.stopped && e.now < t {
+		e.now = t
+	}
+}
+
+// Stop halts Run/RunUntil after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Every schedules fn at now+interval, then repeatedly every interval, until
+// the returned cancel function is called. Used for entangled-pair sources
+// emitting at a fixed rate.
+func (e *Engine) Every(interval time.Duration, fn func()) (cancel func()) {
+	if interval <= 0 {
+		panic("netsim: Every needs a positive interval")
+	}
+	active := true
+	var tick func()
+	tick = func() {
+		if !active {
+			return
+		}
+		fn()
+		if active {
+			e.Schedule(interval, tick)
+		}
+	}
+	e.Schedule(interval, tick)
+	return func() { active = false }
+}

@@ -1,0 +1,140 @@
+package qsim
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Channel is a completely positive trace-preserving (CPTP) map given by its
+// Kraus operators: ρ ↦ Σ K ρ K†. Channels model the physical noise the
+// paper's §3 insists deployments account for: fiber dephasing, storage
+// decoherence, depolarization.
+type Channel struct {
+	Name  string
+	Kraus []*linalg.Mat
+}
+
+// Validate checks the trace-preservation condition Σ K†K = I.
+func (c Channel) Validate(tol float64) bool {
+	if len(c.Kraus) == 0 {
+		return false
+	}
+	d := c.Kraus[0].Cols
+	sum := linalg.NewMat(d, d)
+	for _, k := range c.Kraus {
+		if k.Cols != d || k.Rows != d {
+			return false
+		}
+		sum = sum.Add(k.Dagger().Mul(k))
+	}
+	return sum.ApproxEqual(linalg.Identity(d), tol)
+}
+
+// Depolarizing returns the single-qubit depolarizing channel with error
+// probability p: ρ ↦ (1−p)ρ + p·I/2.
+func Depolarizing(p float64) Channel {
+	checkProb(p)
+	// Kraus: √(1−3p/4)·I, √(p/4)·X, √(p/4)·Y, √(p/4)·Z.
+	a := complex(math.Sqrt(1-3*p/4), 0)
+	b := complex(math.Sqrt(p/4), 0)
+	return Channel{
+		Name: "depolarizing",
+		Kraus: []*linalg.Mat{
+			linalg.Identity(2).Scale(a),
+			GateX().Scale(b),
+			GateY().Scale(b),
+			GateZ().Scale(b),
+		},
+	}
+}
+
+// Dephasing returns the phase-damping channel with probability p: coherences
+// shrink by (1−p) while populations are untouched — the dominant noise for
+// photonic qubits in storage.
+func Dephasing(p float64) Channel {
+	checkProb(p)
+	return Channel{
+		Name: "dephasing",
+		Kraus: []*linalg.Mat{
+			linalg.Identity(2).Scale(complex(math.Sqrt(1-p/2), 0)),
+			GateZ().Scale(complex(math.Sqrt(p/2), 0)),
+		},
+	}
+}
+
+// AmplitudeDamping returns the T1 relaxation channel with decay probability
+// γ (|1⟩ decays to |0⟩).
+func AmplitudeDamping(gamma float64) Channel {
+	checkProb(gamma)
+	k0 := linalg.MatFromRows([][]complex128{
+		{1, 0},
+		{0, complex(math.Sqrt(1-gamma), 0)},
+	})
+	k1 := linalg.MatFromRows([][]complex128{
+		{0, complex(math.Sqrt(gamma), 0)},
+		{0, 0},
+	})
+	return Channel{Name: "amplitude-damping", Kraus: []*linalg.Mat{k0, k1}}
+}
+
+// BitFlip returns the channel flipping the qubit with probability p.
+func BitFlip(p float64) Channel {
+	checkProb(p)
+	return Channel{
+		Name: "bit-flip",
+		Kraus: []*linalg.Mat{
+			linalg.Identity(2).Scale(complex(math.Sqrt(1-p), 0)),
+			GateX().Scale(complex(math.Sqrt(p), 0)),
+		},
+	}
+}
+
+func checkProb(p float64) {
+	if p < 0 || p > 1 {
+		panic("qsim: channel probability out of [0,1]")
+	}
+}
+
+// ApplyChannel applies a single-qubit channel to qubit k of the density
+// matrix, returning a new state: ρ ↦ Σ (I⊗K⊗I) ρ (I⊗K⊗I)†.
+func (d *Density) ApplyChannel(k int, c Channel) *Density {
+	if k < 0 || k >= d.NumQubits {
+		panic("qsim: ApplyChannel qubit out of range")
+	}
+	out := linalg.NewMat(d.Rho.Rows, d.Rho.Cols)
+	for _, kr := range c.Kraus {
+		full := expandOperator(d.NumQubits, k, kr)
+		out = out.Add(full.Mul(d.Rho).Mul(full.Dagger()))
+	}
+	return &Density{NumQubits: d.NumQubits, Rho: out}
+}
+
+// expandOperator embeds a single-qubit operator on qubit k into the full
+// space (like expandProjector, but for arbitrary operators).
+func expandOperator(numQubits, k int, op *linalg.Mat) *linalg.Mat {
+	var out *linalg.Mat
+	for q := 0; q < numQubits; q++ {
+		var factor *linalg.Mat
+		if q == k {
+			factor = op
+		} else {
+			factor = linalg.Identity(2)
+		}
+		if out == nil {
+			out = factor
+		} else {
+			out = out.Kron(factor)
+		}
+	}
+	return out
+}
+
+// WernerFromDepolarizing documents the bridge between the two noise
+// parametrizations used in this repository: applying single-qubit
+// depolarizing noise with probability p to ONE qubit of a perfect Bell pair
+// yields exactly the Werner state with visibility V = 1 − p. (Applying it
+// to both sides composes multiplicatively.)
+func WernerFromDepolarizing(p float64) *Density {
+	return DensityFromPure(Bell()).ApplyChannel(1, Depolarizing(p))
+}

@@ -1,0 +1,176 @@
+package qsim
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+	"repro/internal/xrand"
+)
+
+// Circuit is a small gate-level builder over the state-vector simulator.
+// It exists for the constructive side of the repository: preparing the
+// resource states (Bell, GHZ) the way real photonic/matter-qubit hardware
+// would, and implementing the Bell-state measurement at the heart of
+// entanglement swapping (quantum repeaters, §3's quantum-network context).
+type Circuit struct {
+	NumQubits int
+	ops       []op
+}
+
+type op struct {
+	kind    opKind
+	qubit   int
+	qubit2  int
+	unitary *linalg.Mat
+	label   string
+}
+
+type opKind int
+
+const (
+	opUnitary1 opKind = iota
+	opCNOT
+	opSwap
+)
+
+// NewCircuit returns an empty circuit over n qubits.
+func NewCircuit(n int) *Circuit {
+	if n < 1 || n > 20 {
+		panic("qsim: unsupported circuit width")
+	}
+	return &Circuit{NumQubits: n}
+}
+
+// Gate appends a single-qubit unitary.
+func (c *Circuit) Gate(label string, q int, u *linalg.Mat) *Circuit {
+	c.checkQubit(q)
+	if !u.IsUnitary(1e-9) {
+		panic(fmt.Sprintf("qsim: gate %s is not unitary", label))
+	}
+	c.ops = append(c.ops, op{kind: opUnitary1, qubit: q, unitary: u.Clone(), label: label})
+	return c
+}
+
+// H appends a Hadamard gate.
+func (c *Circuit) H(q int) *Circuit { return c.Gate("H", q, GateH()) }
+
+// X appends a Pauli-X gate.
+func (c *Circuit) X(q int) *Circuit { return c.Gate("X", q, GateX()) }
+
+// Z appends a Pauli-Z gate.
+func (c *Circuit) Z(q int) *Circuit { return c.Gate("Z", q, GateZ()) }
+
+// RY appends a Y-rotation.
+func (c *Circuit) RY(q int, theta float64) *Circuit {
+	return c.Gate(fmt.Sprintf("RY(%.3f)", theta), q, GateRY(theta))
+}
+
+// CNOT appends a controlled-NOT.
+func (c *Circuit) CNOT(control, target int) *Circuit {
+	c.checkQubit(control)
+	c.checkQubit(target)
+	if control == target {
+		panic("qsim: CNOT control equals target")
+	}
+	c.ops = append(c.ops, op{kind: opCNOT, qubit: control, qubit2: target, label: "CNOT"})
+	return c
+}
+
+// Swap appends a SWAP gate (three CNOTs' worth, executed natively).
+func (c *Circuit) Swap(a, b int) *Circuit {
+	c.checkQubit(a)
+	c.checkQubit(b)
+	if a == b {
+		panic("qsim: SWAP on identical qubits")
+	}
+	c.ops = append(c.ops, op{kind: opSwap, qubit: a, qubit2: b, label: "SWAP"})
+	return c
+}
+
+// Len returns the number of gates.
+func (c *Circuit) Len() int { return len(c.ops) }
+
+// Run applies the circuit to |0…0⟩ and returns the final state.
+func (c *Circuit) Run() *State {
+	s := NewState(c.NumQubits)
+	c.ApplyTo(s)
+	return s
+}
+
+// ApplyTo applies the circuit to an existing state in place.
+func (c *Circuit) ApplyTo(s *State) {
+	if s.NumQubits != c.NumQubits {
+		panic("qsim: circuit width does not match state")
+	}
+	for _, o := range c.ops {
+		switch o.kind {
+		case opUnitary1:
+			s.ApplyUnitary1(o.qubit, o.unitary)
+		case opCNOT:
+			s.ApplyCNOT(o.qubit, o.qubit2)
+		case opSwap:
+			s.ApplyCNOT(o.qubit, o.qubit2)
+			s.ApplyCNOT(o.qubit2, o.qubit)
+			s.ApplyCNOT(o.qubit, o.qubit2)
+		}
+	}
+}
+
+func (c *Circuit) checkQubit(q int) {
+	if q < 0 || q >= c.NumQubits {
+		panic(fmt.Sprintf("qsim: qubit %d out of range [0,%d)", q, c.NumQubits))
+	}
+}
+
+// BellCircuit prepares Φ+ on qubits (a, b) of an n-qubit register the way
+// hardware does: H on a, then CNOT a→b.
+func BellCircuit(n, a, b int) *Circuit {
+	return NewCircuit(n).H(a).CNOT(a, b)
+}
+
+// GHZCircuit prepares the n-qubit GHZ state: H on 0 then a CNOT chain.
+func GHZCircuit(n int) *Circuit {
+	c := NewCircuit(n).H(0)
+	for q := 1; q < n; q++ {
+		c.CNOT(q-1, q)
+	}
+	return c
+}
+
+// BellMeasure performs a Bell-state measurement on qubits (a, b): it
+// rotates the Bell basis onto the computational basis (CNOT a→b then H on
+// a), measures both qubits, and returns the two classical bits
+// (phase, parity) identifying which Bell state was found. The state
+// collapses accordingly — this is the swap operation at a repeater node.
+func BellMeasure(s *State, a, b int, rng *xrand.RNG) (phaseBit, parityBit int) {
+	s.ApplyCNOT(a, b)
+	s.ApplyUnitary1(a, GateH())
+	phaseBit = s.MeasureQubit(a, Computational(), rng)
+	parityBit = s.MeasureQubit(b, Computational(), rng)
+	return phaseBit, parityBit
+}
+
+// EntanglementSwap demonstrates the repeater primitive: start with pairs
+// (0,1) and (2,3), Bell-measure the middle qubits (1,2), and apply the
+// outcome-dependent Pauli correction to qubit 3. The result leaves qubits
+// (0,3) — which never interacted — in the state Φ+. Returns the corrected
+// state and the fidelity of the (0,3) pair with Φ+ (computed via the
+// reduced density matrix).
+func EntanglementSwap(rng *xrand.RNG) (state *State, fidelity float64) {
+	c := NewCircuit(4)
+	c.H(0).CNOT(0, 1) // pair (0,1)
+	c.H(2).CNOT(2, 3) // pair (2,3)
+	s := c.Run()
+
+	phase, parity := BellMeasure(s, 1, 2, rng)
+	// Standard correction: X^parity then Z^phase on qubit 3.
+	if parity == 1 {
+		s.ApplyUnitary1(3, GateX())
+	}
+	if phase == 1 {
+		s.ApplyUnitary1(3, GateZ())
+	}
+
+	reduced := DensityFromPure(s).PartialTrace(1, 2)
+	return s, reduced.FidelityPure(Bell())
+}

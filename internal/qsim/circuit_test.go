@@ -1,0 +1,143 @@
+package qsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestBellCircuitPreparesBell(t *testing.T) {
+	s := BellCircuit(2, 0, 1).Run()
+	if s.Fidelity(Bell()) < 1-tol {
+		t.Fatalf("fidelity %v", s.Fidelity(Bell()))
+	}
+}
+
+func TestGHZCircuitPreparesGHZ(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		s := GHZCircuit(n).Run()
+		if s.Fidelity(GHZ(n)) < 1-tol {
+			t.Fatalf("GHZ(%d) circuit fidelity %v", n, s.Fidelity(GHZ(n)))
+		}
+	}
+}
+
+func TestCircuitGateValidation(t *testing.T) {
+	c := NewCircuit(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-unitary gate")
+		}
+	}()
+	c.Gate("bad", 0, GateX().Scale(2))
+}
+
+func TestCircuitQubitRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCircuit(2).H(2)
+}
+
+func TestCircuitCNOTSelfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCircuit(2).CNOT(1, 1)
+}
+
+func TestSwapGate(t *testing.T) {
+	// |10⟩ --SWAP--> |01⟩.
+	c := NewCircuit(2).X(0).Swap(0, 1)
+	s := c.Run()
+	if math.Abs(s.Probability(0b01)-1) > tol {
+		t.Fatalf("SWAP failed: %v", s.Amp)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("ops = %d", c.Len())
+	}
+}
+
+func TestXZGatesViaCircuit(t *testing.T) {
+	// Z|+⟩ = |−⟩: X then H then Z gives H|1⟩ = |−⟩... check via fidelity.
+	s := NewCircuit(1).H(0).Z(0).Run()
+	minus := FromAmplitudes([]complex128{1, -1})
+	if s.Fidelity(minus) < 1-tol {
+		t.Fatal("Z on |+⟩ should give |−⟩")
+	}
+}
+
+func TestRYCircuit(t *testing.T) {
+	// RY(π)|0⟩ = |1⟩.
+	s := NewCircuit(1).RY(0, math.Pi).Run()
+	if math.Abs(s.Probability(1)-1) > tol {
+		t.Fatalf("RY(π) result: %v", s.Amp)
+	}
+}
+
+func TestApplyToWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCircuit(2).H(0).ApplyTo(NewState(3))
+}
+
+// TestBellMeasureIdentifiesBellStates: measuring each of the four Bell
+// states in the Bell basis yields its identifying bit pair with certainty.
+func TestBellMeasureIdentifiesBellStates(t *testing.T) {
+	rng := xrand.New(61, 1)
+	cases := []struct {
+		bitFlip, phase bool
+		wantPhase      int
+		wantParity     int
+	}{
+		{false, false, 0, 0}, // Φ+
+		{false, true, 1, 0},  // Φ−
+		{true, false, 0, 1},  // Ψ+
+		{true, true, 1, 1},   // Ψ−
+	}
+	for _, c := range cases {
+		for trial := 0; trial < 10; trial++ {
+			s := BellPhi(c.bitFlip, c.phase)
+			phase, parity := BellMeasure(s, 0, 1, rng)
+			if phase != c.wantPhase || parity != c.wantParity {
+				t.Fatalf("Bell state (flip=%v,phase=%v): measured (%d,%d), want (%d,%d)",
+					c.bitFlip, c.phase, phase, parity, c.wantPhase, c.wantParity)
+			}
+		}
+	}
+}
+
+// TestEntanglementSwap: the repeater primitive leaves the outer qubits in a
+// perfect Bell pair regardless of the middle measurement's outcome.
+func TestEntanglementSwap(t *testing.T) {
+	rng := xrand.New(62, 1)
+	for trial := 0; trial < 40; trial++ {
+		_, fidelity := EntanglementSwap(rng)
+		if math.Abs(fidelity-1) > 1e-9 {
+			t.Fatalf("trial %d: swapped pair fidelity %v, want 1", trial, fidelity)
+		}
+	}
+}
+
+func BenchmarkGHZCircuitRun(b *testing.B) {
+	c := GHZCircuit(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Run()
+	}
+}
+
+func BenchmarkEntanglementSwap(b *testing.B) {
+	rng := xrand.New(1, 12)
+	for i := 0; i < b.N; i++ {
+		EntanglementSwap(rng)
+	}
+}

@@ -1,0 +1,233 @@
+package qsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestDensityFromPureIsValid(t *testing.T) {
+	d := DensityFromPure(Bell())
+	if !d.IsValid(1e-9) {
+		t.Fatal("pure-state density matrix invalid")
+	}
+	if math.Abs(d.Purity()-1) > tol {
+		t.Fatalf("purity of pure state = %v", d.Purity())
+	}
+}
+
+func TestMaximallyMixed(t *testing.T) {
+	d := MaximallyMixed(2)
+	if !d.IsValid(1e-9) {
+		t.Fatal("maximally mixed state invalid")
+	}
+	if math.Abs(d.Purity()-0.25) > tol {
+		t.Fatalf("purity of I/4 = %v, want 0.25", d.Purity())
+	}
+	// All outcomes equally likely in any product basis.
+	dist := d.OutcomeDistribution([]Basis{RotatedReal(0.4), RotatedReal(1.3)})
+	for o, p := range dist {
+		if math.Abs(p-0.25) > tol {
+			t.Fatalf("outcome %02b prob %v", o, p)
+		}
+	}
+}
+
+func TestWernerValidityAndFidelity(t *testing.T) {
+	for _, v := range []float64{0, 0.3, 0.7, 1} {
+		d := Werner(v)
+		if !d.IsValid(1e-9) {
+			t.Fatalf("Werner(%v) invalid", v)
+		}
+		// Fidelity with Φ+ is v + (1−v)/4.
+		want := v + (1-v)/4
+		if math.Abs(d.FidelityPure(Bell())-want) > tol {
+			t.Fatalf("Werner(%v) fidelity = %v, want %v", v, d.FidelityPure(Bell()), want)
+		}
+	}
+}
+
+func TestWernerOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Werner(1.5)
+}
+
+// TestWernerCorrelationClosedForm checks the visibility-scaled correlation:
+// for Werner(V) measured in real bases θA, θB, P(same) = (1 + V·cos 2(θA−θB))/2.
+func TestWernerCorrelationClosedForm(t *testing.T) {
+	for _, v := range []float64{1, 0.8, 0.5, 0} {
+		for _, d := range []float64{0, math.Pi / 8, 0.9} {
+			dist := Werner(v).OutcomeDistribution([]Basis{RotatedReal(0.3 + d), RotatedReal(0.3)})
+			pSame := dist[0b00] + dist[0b11]
+			want := (1 + v*math.Cos(2*d)) / 2
+			if math.Abs(pSame-want) > tol {
+				t.Fatalf("V=%v Δ=%v: P(same)=%v want %v", v, d, pSame, want)
+			}
+		}
+	}
+}
+
+func TestMixConvexity(t *testing.T) {
+	d := Mix([]float64{0.5, 0.5}, []*Density{DensityFromPure(Bell()), MaximallyMixed(2)})
+	if !d.IsValid(1e-9) {
+		t.Fatal("mixture invalid")
+	}
+	// Mix(0.5 Bell, 0.5 mixed) == Werner(0.5).
+	if !d.Rho.ApproxEqual(Werner(0.5).Rho, tol) {
+		t.Fatal("mixture != Werner(0.5)")
+	}
+}
+
+func TestMixRejectsBadWeights(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mix([]float64{0.5, 0.2}, []*Density{MaximallyMixed(1), MaximallyMixed(1)})
+}
+
+func TestPartialTraceBellIsMaximallyMixed(t *testing.T) {
+	d := DensityFromPure(Bell())
+	for _, q := range []int{0, 1} {
+		r := d.PartialTrace(q)
+		if r.NumQubits != 1 {
+			t.Fatalf("reduced qubits = %d", r.NumQubits)
+		}
+		if !r.Rho.ApproxEqual(MaximallyMixed(1).Rho, tol) {
+			t.Fatalf("tracing out qubit %d of Bell should give I/2:\n%v", q, r.Rho)
+		}
+	}
+}
+
+func TestPartialTraceProductState(t *testing.T) {
+	// |1⟩⊗|0⟩: tracing out either qubit leaves the other pure.
+	s := BasisState(1, 1).Tensor(BasisState(0, 1))
+	d := DensityFromPure(s)
+	r0 := d.PartialTrace(1) // keep qubit 0 = |1⟩
+	if math.Abs(real(r0.Rho.At(1, 1))-1) > tol {
+		t.Fatalf("kept qubit should be |1⟩: %v", r0.Rho)
+	}
+	r1 := d.PartialTrace(0) // keep qubit 1 = |0⟩
+	if math.Abs(real(r1.Rho.At(0, 0))-1) > tol {
+		t.Fatalf("kept qubit should be |0⟩: %v", r1.Rho)
+	}
+}
+
+func TestPartialTracePreservesTrace(t *testing.T) {
+	d := DensityFromPure(GHZ(4))
+	r := d.PartialTrace(1, 3)
+	if r.NumQubits != 2 {
+		t.Fatalf("kept %d qubits", r.NumQubits)
+	}
+	if r.TraceError() > tol {
+		t.Fatalf("trace error %v", r.TraceError())
+	}
+	if !r.IsValid(1e-9) {
+		t.Fatal("reduced state invalid")
+	}
+}
+
+func TestPartialTraceGHZGivesClassicalMixture(t *testing.T) {
+	// Tracing one qubit out of GHZ(3) leaves (|00⟩⟨00| + |11⟩⟨11|)/2 —
+	// classically correlated, no coherence.
+	r := DensityFromPure(GHZ(3)).PartialTrace(2)
+	if math.Abs(real(r.Rho.At(0, 0))-0.5) > tol || math.Abs(real(r.Rho.At(3, 3))-0.5) > tol {
+		t.Fatalf("diagonal wrong:\n%v", r.Rho)
+	}
+	if cAbs(r.Rho.At(0, 3)) > tol {
+		t.Fatal("coherence should vanish after tracing out one GHZ qubit")
+	}
+}
+
+func TestPartialTraceBadArgsPanics(t *testing.T) {
+	d := DensityFromPure(Bell())
+	for _, args := range [][]int{{0, 0}, {2}, {0, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for %v", args)
+				}
+			}()
+			d.PartialTrace(args...)
+		}()
+	}
+}
+
+func TestDensityOutcomeDistributionMatchesPure(t *testing.T) {
+	bases := []Basis{RotatedReal(0.2), RotatedReal(-0.5)}
+	s := Bell()
+	pd := s.OutcomeDistribution(bases)
+	dd := DensityFromPure(s).OutcomeDistribution(bases)
+	for o := range pd {
+		if math.Abs(pd[o]-dd[o]) > tol {
+			t.Fatalf("outcome %02b: pure %v vs density %v", o, pd[o], dd[o])
+		}
+	}
+}
+
+func TestDensityMeasureQubit(t *testing.T) {
+	rng := xrand.New(2, 9)
+	d := DensityFromPure(Bell())
+	for trial := 0; trial < 30; trial++ {
+		o, post := d.MeasureQubit(0, Computational(), rng)
+		// The remaining qubit must be perfectly correlated.
+		p := post.OutcomeProbability(1, Computational(), o)
+		if math.Abs(p-1) > tol {
+			t.Fatalf("after outcome %d, partner gives same with prob %v", o, p)
+		}
+		if !post.IsValid(1e-9) {
+			t.Fatal("post-measurement state invalid")
+		}
+	}
+}
+
+func TestCollapseZeroProbabilityPanics(t *testing.T) {
+	d := DensityFromPure(BasisState(0b00, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Collapse(0, Computational(), 1) // |0⟩ can never collapse to outcome 1
+}
+
+func TestDensitySampleMatchesDistribution(t *testing.T) {
+	rng := xrand.New(3, 8)
+	d := Werner(0.8)
+	bases := []Basis{RotatedReal(0), RotatedReal(math.Pi / 8)}
+	dist := d.OutcomeDistribution(bases)
+	counts := make([]int, 4)
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		counts[d.SampleOutcomes(bases, rng)]++
+	}
+	for o, p := range dist {
+		got := float64(counts[o]) / trials
+		if math.Abs(got-p) > 0.01 {
+			t.Fatalf("outcome %02b: sampled %v, exact %v", o, got, p)
+		}
+	}
+}
+
+func BenchmarkWernerOutcomeDistribution(b *testing.B) {
+	d := Werner(0.9)
+	bases := []Basis{RotatedReal(0.1), RotatedReal(0.6)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.OutcomeDistribution(bases)
+	}
+}
+
+func BenchmarkPartialTraceGHZ5(b *testing.B) {
+	d := DensityFromPure(GHZ(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PartialTrace(0, 2)
+	}
+}

@@ -1,0 +1,61 @@
+package qsim
+
+import (
+	"math"
+)
+
+// This file verifies the no-signaling principle — the physical law the whole
+// paper leans on: measurement choices at one site cannot change the outcome
+// statistics at another, which is why entanglement gives "faster-than-light
+// correlation while still respecting causality".
+
+// MarginalDistribution returns the distribution of the outcomes of the
+// qubits listed in `of` when every qubit k is measured in bases[k]. Bit b of
+// the returned index corresponds to of[b] (most significant first).
+func MarginalDistribution(dist []float64, numQubits int, of []int) []float64 {
+	out := make([]float64, 1<<len(of))
+	for full, p := range dist {
+		idx := 0
+		for b, q := range of {
+			bit := (full >> (numQubits - 1 - q)) & 1
+			idx |= bit << (len(of) - 1 - b)
+		}
+		out[idx] += p
+	}
+	return out
+}
+
+// NoSignalingViolation measures how much the marginal distribution of the
+// `observer` qubits changes when the basis on the `remote` qubit changes from
+// basisA to basisB, with all other qubits measured in `fixed`. A physical
+// state/measurement pair must return ~0. Returns the total-variation distance.
+func NoSignalingViolation(d *Density, observer []int, remote int, basisA, basisB Basis, fixed []Basis) float64 {
+	basesA := make([]Basis, d.NumQubits)
+	basesB := make([]Basis, d.NumQubits)
+	copy(basesA, fixed)
+	copy(basesB, fixed)
+	basesA[remote] = basisA
+	basesB[remote] = basisB
+
+	ma := MarginalDistribution(d.OutcomeDistribution(basesA), d.NumQubits, observer)
+	mb := MarginalDistribution(d.OutcomeDistribution(basesB), d.NumQubits, observer)
+
+	var tv float64
+	for i := range ma {
+		tv += math.Abs(ma[i] - mb[i])
+	}
+	return tv / 2
+}
+
+// TotalVariation returns the total-variation distance between two
+// distributions of equal length.
+func TotalVariation(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("qsim: TotalVariation length mismatch")
+	}
+	var tv float64
+	for i := range p {
+		tv += math.Abs(p[i] - q[i])
+	}
+	return tv / 2
+}

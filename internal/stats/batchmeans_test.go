@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestBatchMeansIIDMatchesWelford(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	bm := NewBatchMeans(100)
+	var w Welford
+	for i := 0; i < 100000; i++ {
+		x := rng.NormFloat64()*2 + 5
+		bm.Add(x)
+		w.Add(x)
+	}
+	if math.Abs(bm.Mean()-w.Mean()) > 0.01 {
+		t.Fatalf("batch mean %v vs raw mean %v", bm.Mean(), w.Mean())
+	}
+	// For i.i.d. data the batch-means CI approximates the naive CI.
+	ratio := bm.CI95() / w.CI95()
+	if ratio < 0.6 || ratio > 1.7 {
+		t.Fatalf("iid CI ratio %v should be near 1", ratio)
+	}
+}
+
+// TestBatchMeansAR1WidensCI is the reason the estimator exists: on a
+// strongly autocorrelated AR(1) series the naive CI is far too tight, and
+// batch means must report a much wider (honest) interval.
+func TestBatchMeansAR1WidensCI(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	const phi = 0.99 // correlation time ≈ 100 samples
+	bm := NewBatchMeans(1000)
+	var w Welford
+	x := 0.0
+	for i := 0; i < 200000; i++ {
+		x = phi*x + rng.NormFloat64()
+		bm.Add(x)
+		w.Add(x)
+	}
+	if bm.CI95() < 3*w.CI95() {
+		t.Fatalf("AR(1): batch CI %v should be much wider than naive %v",
+			bm.CI95(), w.CI95())
+	}
+	// True mean is 0: the batch-means interval should cover it.
+	if math.Abs(bm.Mean()) > 2*bm.CI95() {
+		t.Fatalf("batch interval [%v ± %v] misses the true mean 0", bm.Mean(), bm.CI95())
+	}
+}
+
+func TestBatchMeansFewBatches(t *testing.T) {
+	bm := NewBatchMeans(10)
+	for i := 0; i < 15; i++ { // one complete batch + partial
+		bm.Add(1)
+	}
+	if bm.Batches() != 1 {
+		t.Fatalf("batches %d", bm.Batches())
+	}
+	if !math.IsInf(bm.CI95(), 1) {
+		t.Fatal("CI with <2 batches must be +Inf")
+	}
+	if bm.Mean() != 1 {
+		t.Fatalf("mean %v", bm.Mean())
+	}
+	if bm.Count() != 15 {
+		t.Fatalf("count %d", bm.Count())
+	}
+}
+
+func TestBatchMeansNoCompletedBatchFallsBack(t *testing.T) {
+	bm := NewBatchMeans(100)
+	bm.Add(3)
+	bm.Add(5)
+	if bm.Mean() != 4 {
+		t.Fatalf("partial-batch mean %v", bm.Mean())
+	}
+}
+
+func TestBatchMeansInvalidSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBatchMeans(0)
+}

@@ -1,0 +1,159 @@
+// Package workload generates the synthetic request streams the experiments
+// consume. The paper's simulation (§4.1) draws, per time slot and per load
+// balancer, a type-C (colocation-loving) or type-E (exclusivity-loving) task
+// with equal probability; this package provides that generator plus the
+// variants used by the robustness ablations (biased mixes, bursty streams,
+// multi-class streams for XOR-game scheduling) and Poisson arrivals for the
+// timing experiments.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// TaskType is the affinity class of a request.
+type TaskType int
+
+const (
+	// TypeE tasks want exclusive access to a server (paper's type-E).
+	TypeE TaskType = iota
+	// TypeC tasks benefit from colocation with other type-C tasks.
+	TypeC
+)
+
+// String renders the paper's names.
+func (t TaskType) String() string {
+	switch t {
+	case TypeC:
+		return "C"
+	case TypeE:
+		return "E"
+	default:
+		return fmt.Sprintf("TaskType(%d)", int(t))
+	}
+}
+
+// Task is one request presented to a load balancer.
+type Task struct {
+	Type TaskType
+	// Class is the fine-grained affinity class for multi-class workloads
+	// (vertex of the XOR-game graph). For two-class workloads it is 0/1
+	// mirroring Type.
+	Class int
+}
+
+// Generator produces one task per balancer per slot.
+type Generator interface {
+	// Next returns the task for the given balancer in the current slot.
+	Next(balancer int, rng *xrand.RNG) Task
+	// NumClasses reports how many distinct Class values the stream uses.
+	NumClasses() int
+}
+
+// Bernoulli is the paper's workload: i.i.d. type-C with probability PC.
+type Bernoulli struct {
+	// PC is the probability a task is type-C. The paper uses 1/2.
+	PC float64
+}
+
+// Next draws a task.
+func (g Bernoulli) Next(_ int, rng *xrand.RNG) Task {
+	if rng.Bool(g.PC) {
+		return Task{Type: TypeC, Class: 1}
+	}
+	return Task{Type: TypeE, Class: 0}
+}
+
+// NumClasses is 2 (C and E).
+func (Bernoulli) NumClasses() int { return 2 }
+
+// MultiClass draws a class from a categorical distribution over k classes;
+// ClassTypes[k] says whether class k behaves as type-C or type-E at the
+// servers. Used by the XOR-game scheduling experiments where affinity is a
+// labeled graph over classes.
+type MultiClass struct {
+	Weights    []float64
+	ClassTypes []TaskType
+}
+
+// Next draws a task.
+func (g MultiClass) Next(_ int, rng *xrand.RNG) Task {
+	c := rng.Categorical(g.Weights)
+	return Task{Type: g.ClassTypes[c], Class: c}
+}
+
+// NumClasses reports the class count.
+func (g MultiClass) NumClasses() int { return len(g.Weights) }
+
+// Bursty alternates between a C-heavy and an E-heavy phase with geometric
+// phase lengths — an adversarial stream for the robustness ablation, since
+// correlated bursts of type-C tasks stress colocation the most.
+type Bursty struct {
+	PCHot, PCCold float64 // P(type-C) in the hot and cold phase
+	SwitchProb    float64 // per-slot probability of flipping phase
+
+	hot map[int]bool // per-balancer phase
+}
+
+// Next draws a task, evolving the balancer's phase.
+func (g *Bursty) Next(balancer int, rng *xrand.RNG) Task {
+	if g.hot == nil {
+		g.hot = make(map[int]bool)
+	}
+	if rng.Bool(g.SwitchProb) {
+		g.hot[balancer] = !g.hot[balancer]
+	}
+	pc := g.PCCold
+	if g.hot[balancer] {
+		pc = g.PCHot
+	}
+	if rng.Bool(pc) {
+		return Task{Type: TypeC, Class: 1}
+	}
+	return Task{Type: TypeE, Class: 0}
+}
+
+// NumClasses is 2.
+func (*Bursty) NumClasses() int { return 2 }
+
+// PoissonArrivals generates request timestamps for the timing experiments:
+// inter-arrival times are Exp(rate).
+type PoissonArrivals struct {
+	Rate float64 // requests per second
+	last time.Duration
+}
+
+// Next returns the next arrival time after the previous one.
+func (p *PoissonArrivals) Next(rng *xrand.RNG) time.Duration {
+	if p.Rate <= 0 {
+		panic("workload: arrival rate must be positive")
+	}
+	gap := time.Duration(rng.ExpFloat64() / p.Rate * float64(time.Second))
+	p.last += gap
+	return p.last
+}
+
+// Reset restarts the clock.
+func (p *PoissonArrivals) Reset() { p.last = 0 }
+
+// ZipfWeights returns k popularity weights following a Zipf law with
+// exponent s: weight(i) ∝ 1/(i+1)^s. Real request popularity (textures,
+// functions, keys) is heavy-tailed; the cache experiments use these weights
+// to stress realistic skew. s = 0 gives uniform weights.
+func ZipfWeights(k int, s float64) []float64 {
+	if k <= 0 {
+		panic("workload: need a positive class count")
+	}
+	if s < 0 {
+		panic("workload: Zipf exponent must be non-negative")
+	}
+	w := make([]float64, k)
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+	}
+	return w
+}

@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+func TestBernoulliMix(t *testing.T) {
+	g := Bernoulli{PC: 0.5}
+	rng := xrand.New(50, 1)
+	c := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		task := g.Next(0, rng)
+		if task.Type == TypeC {
+			c++
+			if task.Class != 1 {
+				t.Fatal("type-C must map to class 1")
+			}
+		} else if task.Class != 0 {
+			t.Fatal("type-E must map to class 0")
+		}
+	}
+	if math.Abs(float64(c)/trials-0.5) > 0.01 {
+		t.Fatalf("type-C rate %v", float64(c)/trials)
+	}
+	if g.NumClasses() != 2 {
+		t.Fatal("Bernoulli has 2 classes")
+	}
+}
+
+func TestBernoulliBiased(t *testing.T) {
+	g := Bernoulli{PC: 0.2}
+	rng := xrand.New(51, 1)
+	c := 0
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		if g.Next(0, rng).Type == TypeC {
+			c++
+		}
+	}
+	if math.Abs(float64(c)/trials-0.2) > 0.01 {
+		t.Fatalf("biased rate %v", float64(c)/trials)
+	}
+}
+
+func TestMultiClass(t *testing.T) {
+	g := MultiClass{
+		Weights:    []float64{1, 1, 2},
+		ClassTypes: []TaskType{TypeE, TypeC, TypeC},
+	}
+	rng := xrand.New(52, 1)
+	counts := make([]int, 3)
+	const trials = 80000
+	for i := 0; i < trials; i++ {
+		task := g.Next(0, rng)
+		counts[task.Class]++
+		want := g.ClassTypes[task.Class]
+		if task.Type != want {
+			t.Fatalf("class %d mapped to type %v", task.Class, task.Type)
+		}
+	}
+	if math.Abs(float64(counts[2])/trials-0.5) > 0.01 {
+		t.Fatalf("class 2 rate %v", float64(counts[2])/trials)
+	}
+	if g.NumClasses() != 3 {
+		t.Fatal("class count wrong")
+	}
+}
+
+func TestBurstyPhases(t *testing.T) {
+	g := &Bursty{PCHot: 0.9, PCCold: 0.1, SwitchProb: 0.01}
+	rng := xrand.New(53, 1)
+	c := 0
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		if g.Next(0, rng).Type == TypeC {
+			c++
+		}
+	}
+	// Long-run average is ~(0.9+0.1)/2 = 0.5 but with heavy autocorrelation;
+	// just check the rate is between the phase extremes and autocorrelation
+	// exists (streaks longer than i.i.d. would produce).
+	rate := float64(c) / trials
+	if rate < 0.3 || rate > 0.7 {
+		t.Fatalf("bursty long-run rate %v", rate)
+	}
+	// Autocorrelation: count adjacent equal pairs; i.i.d. p=0.5 gives 0.5.
+	g2 := &Bursty{PCHot: 0.95, PCCold: 0.05, SwitchProb: 0.005}
+	rng2 := xrand.New(54, 1)
+	prev := g2.Next(0, rng2).Type
+	agree := 0
+	const n2 = 100000
+	for i := 0; i < n2; i++ {
+		cur := g2.Next(0, rng2).Type
+		if cur == prev {
+			agree++
+		}
+		prev = cur
+	}
+	if float64(agree)/n2 < 0.6 {
+		t.Fatalf("bursty stream shows no autocorrelation: %v", float64(agree)/n2)
+	}
+}
+
+func TestBurstyPerBalancerPhases(t *testing.T) {
+	// Distinct balancers must evolve independent phases.
+	g := &Bursty{PCHot: 1, PCCold: 0, SwitchProb: 0.5}
+	rng := xrand.New(55, 1)
+	diff := false
+	for i := 0; i < 100; i++ {
+		a := g.Next(1, rng).Type
+		b := g.Next(2, rng).Type
+		if a != b {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("balancers never diverged in phase")
+	}
+}
+
+func TestPoissonArrivalsRate(t *testing.T) {
+	p := &PoissonArrivals{Rate: 1000} // 1 per ms
+	rng := xrand.New(56, 1)
+	var last time.Duration
+	const n = 50000
+	for i := 0; i < n; i++ {
+		ts := p.Next(rng)
+		if ts <= last {
+			t.Fatal("arrival times must be strictly increasing")
+		}
+		last = ts
+	}
+	gotRate := float64(n) / last.Seconds()
+	if math.Abs(gotRate-1000)/1000 > 0.02 {
+		t.Fatalf("arrival rate %v, want 1000", gotRate)
+	}
+	p.Reset()
+	if p.Next(rng) > last {
+		t.Fatal("Reset should restart the clock")
+	}
+}
+
+func TestPoissonArrivalsInvalidRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&PoissonArrivals{Rate: 0}).Next(xrand.New(1, 1))
+}
+
+func TestTaskTypeString(t *testing.T) {
+	if TypeC.String() != "C" || TypeE.String() != "E" {
+		t.Fatal("task type names wrong")
+	}
+	if TaskType(9).String() == "" {
+		t.Fatal("unknown type should still render")
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(4, 1)
+	want := []float64{1, 0.5, 1.0 / 3, 0.25}
+	for i := range w {
+		if math.Abs(w[i]-want[i]) > 1e-12 {
+			t.Fatalf("weight %d = %v, want %v", i, w[i], want[i])
+		}
+	}
+	// s = 0 is uniform.
+	for _, v := range ZipfWeights(5, 0) {
+		if v != 1 {
+			t.Fatal("s=0 should give uniform weights")
+		}
+	}
+	// Monotone decreasing for s > 0.
+	w2 := ZipfWeights(10, 0.8)
+	for i := 1; i < len(w2); i++ {
+		if w2[i] >= w2[i-1] {
+			t.Fatal("Zipf weights must decrease")
+		}
+	}
+}
+
+func TestZipfWeightsPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { ZipfWeights(0, 1) },
+		func() { ZipfWeights(3, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
