@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: build test verify race bench bench-report repro clean
+
+build:
+	$(GO) build ./...
+
+# Tier-1 gate: everything must build and every test must pass.
+test: build
+	$(GO) test ./...
+
+# Full verification: tier-1 plus static analysis and the race detector.
+# The parallel execution layer makes the race pass load-bearing — every
+# fan-out (experiments, sweeps, advantage trials, quantum searches) runs
+# under it.
+verify: build
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Regenerate BENCH_parallel.json (per-experiment wall times, serial vs
+# parallel, plus hot-path allocs/op).
+bench-report:
+	$(GO) run ./cmd/bench
+
+repro:
+	$(GO) run ./cmd/repro
+
+clean:
+	$(GO) clean ./...

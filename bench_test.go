@@ -26,6 +26,7 @@ import (
 // BenchmarkE1CHSH regenerates E1: CHSH classical and quantum values plus a
 // sampled win-rate estimate.
 func BenchmarkE1CHSH(b *testing.B) {
+	b.ReportAllocs()
 	rng := xrand.New(1, 1)
 	g := games.NewCHSH()
 	for i := 0; i < b.N; i++ {
@@ -53,6 +54,7 @@ func BenchmarkE1CHSH(b *testing.B) {
 // BenchmarkE2XORAdvantage regenerates one Figure 3 sweep point: the
 // probability a random K5 XOR game at p=0.5 has a quantum advantage.
 func BenchmarkE2XORAdvantage(b *testing.B) {
+	b.ReportAllocs()
 	rng := xrand.New(2, 2)
 	for i := 0; i < b.N; i++ {
 		p := games.AdvantageProbability(5, 0.5, 20, rng)
@@ -65,6 +67,7 @@ func BenchmarkE2XORAdvantage(b *testing.B) {
 // BenchmarkE3LoadBalance regenerates one Figure 4 point: classical vs
 // quantum mean queue length at load 1.1.
 func BenchmarkE3LoadBalance(b *testing.B) {
+	b.ReportAllocs()
 	cfg := loadbalance.Config{
 		NumBalancers: 100, NumServers: 91,
 		Warmup: 500, Slots: 2000,
@@ -85,6 +88,7 @@ func BenchmarkE3LoadBalance(b *testing.B) {
 // BenchmarkE4Timing regenerates Figure 2: the three-architecture latency
 // and win-rate comparison.
 func BenchmarkE4Timing(b *testing.B) {
+	b.ReportAllocs()
 	cfg := core.DefaultTimingConfig()
 	cfg.Rounds = 2000
 	for i := 0; i < b.N; i++ {
@@ -98,6 +102,7 @@ func BenchmarkE4Timing(b *testing.B) {
 
 // BenchmarkE5ECMP regenerates the §4.2 collision comparison and reduction.
 func BenchmarkE5ECMP(b *testing.B) {
+	b.ReportAllocs()
 	cfg := ecmp.Config{NumSwitches: 6, NumPaths: 2, ActiveK: 2, Rounds: 5000, Seed: 5}
 	for i := 0; i < b.N; i++ {
 		shared := ecmp.Run(cfg, ecmp.SharedPermutation{})
@@ -115,6 +120,7 @@ func BenchmarkE5ECMP(b *testing.B) {
 // BenchmarkE6Noise regenerates the visibility sweep: quantum colocation
 // success degrading to classical at V = 1/√2.
 func BenchmarkE6Noise(b *testing.B) {
+	b.ReportAllocs()
 	cfg := loadbalance.Config{
 		NumBalancers: 40, NumServers: 36,
 		Warmup: 200, Slots: 2000,
@@ -134,6 +140,7 @@ func BenchmarkE6Noise(b *testing.B) {
 // BenchmarkE7Supply regenerates the supply-vs-demand experiment: pool
 // starvation under 2x oversubscription.
 func BenchmarkE7Supply(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		var engine netsim.Engine
 		rng := xrand.New(7, uint64(i))
@@ -162,6 +169,7 @@ func BenchmarkE7Supply(b *testing.B) {
 // BenchmarkE8GHZ regenerates the Mermin–GHZ experiment: classical 0.75 vs
 // the always-winning GHZ strategy.
 func BenchmarkE8GHZ(b *testing.B) {
+	b.ReportAllocs()
 	rng := xrand.New(8, 8)
 	g := games.MerminGHZ()
 	for i := 0; i < b.N; i++ {
@@ -178,6 +186,7 @@ func BenchmarkE8GHZ(b *testing.B) {
 // BenchmarkE9SupplyLimited regenerates the supply-limited balancing point:
 // half-rate supply gives a ~50% quantum fraction.
 func BenchmarkE9SupplyLimited(b *testing.B) {
+	b.ReportAllocs()
 	cfg := loadbalance.Config{
 		NumBalancers: 40, NumServers: 38,
 		Warmup: 200, Slots: 2000,
@@ -198,6 +207,7 @@ func BenchmarkE9SupplyLimited(b *testing.B) {
 
 // BenchmarkE10MultiClass regenerates the 3-class scheduling comparison.
 func BenchmarkE10MultiClass(b *testing.B) {
+	b.ReportAllocs()
 	kinds := []games.ClassKind{games.KindExclusive, games.KindCaching, games.KindCaching}
 	game := games.MultiClassColocationGame(kinds, []float64{1, 1, 1})
 	cfg := loadbalance.Config{
@@ -219,6 +229,7 @@ func BenchmarkE10MultiClass(b *testing.B) {
 
 // BenchmarkE11Repeater regenerates the swap-law verification and crossover.
 func BenchmarkE11Repeater(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, veff := entangle.SwapWernerPairs(0.95, 0.9)
 		if math.Abs(veff-0.855) > 1e-9 {
@@ -232,6 +243,7 @@ func BenchmarkE11Repeater(b *testing.B) {
 
 // BenchmarkE12Certification regenerates the three-tier certification.
 func BenchmarkE12Certification(b *testing.B) {
+	b.ReportAllocs()
 	rng := xrand.New(12, 12)
 	g := games.NewCHSH()
 	q := g.QuantumValue(rng)
@@ -245,6 +257,7 @@ func BenchmarkE12Certification(b *testing.B) {
 
 // BenchmarkE13CacheMechanism regenerates the LRU hit-rate comparison.
 func BenchmarkE13CacheMechanism(b *testing.B) {
+	b.ReportAllocs()
 	cfg := cachesim.Config{
 		NumDispatchers: 24, NumServers: 42,
 		NumTextures: 3, TextureWeights: []float64{1, 1, 1},
@@ -265,6 +278,7 @@ func BenchmarkE13CacheMechanism(b *testing.B) {
 
 // BenchmarkE14LeaderElection regenerates the W-state election comparison.
 func BenchmarkE14LeaderElection(b *testing.B) {
+	b.ReportAllocs()
 	rng := xrand.New(14, 14)
 	for i := 0; i < b.N; i++ {
 		st := games.RunLeaderElection(5, 2000, rng)
@@ -279,6 +293,7 @@ func BenchmarkE14LeaderElection(b *testing.B) {
 
 // BenchmarkE15AdaptiveMeasurement regenerates the dephasing re-optimization.
 func BenchmarkE15AdaptiveMeasurement(b *testing.B) {
+	b.ReportAllocs()
 	rng := xrand.New(15, 15)
 	g := games.NewCHSH()
 	rho := qsim.DensityFromPure(qsim.Bell()).
@@ -295,6 +310,7 @@ func BenchmarkE15AdaptiveMeasurement(b *testing.B) {
 // BenchmarkE16QKD regenerates the key-distribution comparison: clean
 // channel produces key, intercept-resend is detected.
 func BenchmarkE16QKD(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		clean := qkd.Run(qkd.Config{Rounds: 3000, Visibility: 1, AbortS: 2, Seed: uint64(i + 1)})
 		if clean.Aborted || clean.QBER.Successes() != 0 {
@@ -303,6 +319,46 @@ func BenchmarkE16QKD(b *testing.B) {
 		tapped := qkd.Run(qkd.Config{Rounds: 3000, Visibility: 1, Eve: qkd.StandardEve(), AbortS: 2, Seed: uint64(i + 1)})
 		if !tapped.Aborted {
 			b.Fatalf("eavesdropper not detected: %v", tapped)
+		}
+	}
+}
+
+// BenchmarkServeHotPath isolates the simulator's inner loop: one saturated
+// load-balancing run per iteration, dominated by Server push/serve/remove
+// traffic. The per-type counts, prefix-shift removal, and reused scratch
+// buffers keep the steady-state allocation count flat in Slots.
+func BenchmarkServeHotPath(b *testing.B) {
+	b.ReportAllocs()
+	cfg := loadbalance.Config{
+		NumBalancers: 100, NumServers: 80, // load 1.25: queues stay busy
+		Warmup: 0, Slots: 2000,
+		Discipline: loadbalance.BatchCFirst,
+		Workload:   workload.Bernoulli{PC: 0.5},
+		Seed:       17,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := loadbalance.Run(cfg, loadbalance.RandomStrategy{})
+		if r.Served == 0 {
+			b.Fatal("nothing served")
+		}
+	}
+}
+
+// BenchmarkAscend isolates the Burer–Monteiro coordinate ascent that
+// dominates XOR-game solving, bypassing the solve cache so every iteration
+// pays full price (the gradient buffer is hoisted out of the sweep loop).
+func BenchmarkAscend(b *testing.B) {
+	b.ReportAllocs()
+	g := games.MultiClassColocationGame(
+		[]games.ClassKind{games.KindExclusive, games.KindCaching, games.KindCaching},
+		[]float64{1, 1, 1})
+	rng := xrand.New(18, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := g.QuantumValueUncached(rng)
+		if q.Value < 0.8 {
+			b.Fatalf("solver regressed: %v", q.Value)
 		}
 	}
 }

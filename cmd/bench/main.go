@@ -1,0 +1,190 @@
+// Command bench measures the performance story of the parallel execution
+// layer and writes it to a machine-readable JSON report (BENCH_parallel.json
+// at the repo root, regenerate with `go run ./cmd/bench`):
+//
+//   - per-experiment wall time, serial (1 worker) vs the full pool, with the
+//     resulting speedup — the solve cache is reset before every timed run so
+//     neither pass rides on the other's warm cache;
+//   - the end-to-end E1–E16 wall time at both worker counts;
+//   - microbenchmarks (ns/op, B/op, allocs/op via testing.Benchmark) for the
+//     simulator's serve hot path, the uncached Burer–Monteiro ascent, and a
+//     warm solve-cache hit.
+//
+// Speedups scale with GOMAXPROCS; on a single-core machine they hover near
+// 1.0 and the hot-path numbers carry the story. The report records both so
+// results from different machines stay comparable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/games"
+	"repro/internal/loadbalance"
+	"repro/internal/parallel"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+type experimentTiming struct {
+	ID         string  `json:"id"`
+	SerialMS   float64 `json:"serial_ms"`
+	ParallelMS float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+type microBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type report struct {
+	GoVersion       string             `json:"go_version"`
+	GOMAXPROCS      int                `json:"gomaxprocs"`
+	Workers         int                `json:"workers"`
+	Seed            uint64             `json:"seed"`
+	Scale           float64            `json:"scale"`
+	Experiments     []experimentTiming `json:"experiments"`
+	TotalSerialMS   float64            `json:"total_serial_ms"`
+	TotalParallelMS float64            `json:"total_parallel_ms"`
+	TotalSpeedup    float64            `json:"total_speedup"`
+	Micro           []microBench       `json:"micro"`
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// timeRun times fn with the shared worker pool pinned to `workers`, starting
+// from a cold solve cache.
+func timeRun(workers int, fn func()) time.Duration {
+	parallel.SetDefaultWorkers(workers)
+	defer parallel.SetDefaultWorkers(0)
+	games.ResetSolveCache()
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+func speedup(serial, par time.Duration) float64 {
+	if par <= 0 {
+		return 0
+	}
+	return float64(serial) / float64(par)
+}
+
+func main() {
+	out := flag.String("out", "BENCH_parallel.json", "report path (- for stdout)")
+	seed := flag.Uint64("seed", 42, "master seed")
+	scale := flag.Float64("scale", 1.0, "experiment scale factor")
+	workers := flag.Int("workers", 0, "pool width for the parallel pass (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	w := *workers
+	if w <= 0 {
+		w = parallel.DefaultWorkers()
+	}
+	opts := experiments.Options{Seed: *seed, Scale: *scale}
+	rep := report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    w,
+		Seed:       *seed,
+		Scale:      *scale,
+	}
+
+	for _, e := range experiments.All() {
+		run := func() { e.Run(io.Discard, opts) }
+		ser := timeRun(1, run)
+		par := timeRun(w, run)
+		rep.Experiments = append(rep.Experiments, experimentTiming{
+			ID: e.ID, SerialMS: ms(ser), ParallelMS: ms(par), Speedup: speedup(ser, par),
+		})
+		fmt.Fprintf(os.Stderr, "%-4s serial %8.1fms  parallel(%d) %8.1fms  %.2fx\n",
+			e.ID, ms(ser), w, ms(par), speedup(ser, par))
+	}
+
+	totalSer := timeRun(1, func() { experiments.RunAll(io.Discard, opts, 1) })
+	totalPar := timeRun(w, func() { experiments.RunAll(io.Discard, opts, w) })
+	rep.TotalSerialMS, rep.TotalParallelMS = ms(totalSer), ms(totalPar)
+	rep.TotalSpeedup = speedup(totalSer, totalPar)
+	fmt.Fprintf(os.Stderr, "E1-E16 end-to-end: serial %.1fms, parallel(%d) %.1fms, %.2fx\n",
+		ms(totalSer), w, ms(totalPar), rep.TotalSpeedup)
+
+	rep.Micro = microBenches()
+	for _, m := range rep.Micro {
+		fmt.Fprintf(os.Stderr, "%-24s %12.0f ns/op %8d B/op %6d allocs/op\n",
+			m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", *out)
+}
+
+func microBenches() []microBench {
+	record := func(name string, fn func(b *testing.B)) microBench {
+		r := testing.Benchmark(fn)
+		return microBench{
+			Name:        name,
+			NsPerOp:     float64(r.NsPerOp()),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+	}
+
+	serveCfg := loadbalance.Config{
+		NumBalancers: 100, NumServers: 80,
+		Warmup: 0, Slots: 2000,
+		Discipline: loadbalance.BatchCFirst,
+		Workload:   workload.Bernoulli{PC: 0.5},
+		Seed:       17,
+	}
+	game := games.MultiClassColocationGame(
+		[]games.ClassKind{games.KindExclusive, games.KindCaching, games.KindCaching},
+		[]float64{1, 1, 1})
+
+	return []microBench{
+		record("serve_hot_path_2000_slots", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				loadbalance.Run(serveCfg, loadbalance.RandomStrategy{})
+			}
+		}),
+		record("quantum_value_uncached", func(b *testing.B) {
+			b.ReportAllocs()
+			rng := xrand.New(18, 1)
+			for i := 0; i < b.N; i++ {
+				game.QuantumValueUncached(rng)
+			}
+		}),
+		record("quantum_value_cached", func(b *testing.B) {
+			b.ReportAllocs()
+			rng := xrand.New(18, 2)
+			game.QuantumValue(rng) // warm the cache once
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				game.QuantumValue(rng)
+			}
+		}),
+	}
+}

@@ -3,364 +3,37 @@
 // in EXPERIMENTS.md. Use -full for publication-scale runs (slower), or the
 // per-experiment binaries (cmd/chsh, cmd/xorgame, cmd/qlbsim, cmd/ecmpstudy,
 // cmd/latency) for finer control.
+//
+// Independent experiments fan out over a worker pool (-workers, default
+// GOMAXPROCS); output is buffered per experiment and emitted in E1..E16
+// order, byte-identical at any worker count for a fixed seed.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math"
+	"os"
 	"time"
 
-	"repro/internal/cachesim"
-	"repro/internal/core"
-	"repro/internal/ecmp"
-	"repro/internal/entangle"
-	"repro/internal/games"
-	"repro/internal/loadbalance"
-	"repro/internal/qkd"
-	"repro/internal/qsim"
-	"repro/internal/stats"
-	"repro/internal/workload"
-	"repro/internal/xrand"
+	"repro/internal/experiments"
+	"repro/internal/parallel"
 )
 
 func main() {
 	full := flag.Bool("full", false, "publication-scale runs (slower)")
 	seed := flag.Uint64("seed", 42, "master seed")
+	workers := flag.Int("workers", 0, "worker goroutines for the experiment fan-out (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	scale := 1
+	// Inner fan-outs (sweeps, advantage trials, quantum searches) share the
+	// same pool width as the experiment-level fan-out.
+	parallel.SetDefaultWorkers(*workers)
+
+	scale := 1.0
 	if *full {
 		scale = 5
 	}
 	start := time.Now()
-
-	e1(*seed, scale)
-	e2(*seed, scale)
-	e3(*seed, scale)
-	e4(*seed, scale)
-	e5(*seed, scale)
-	e6(*seed, scale)
-	e7(*seed, scale)
-	e8(*seed, scale)
-	e9(*seed, scale)
-	e10(*seed, scale)
-	e11(*seed)
-	e12(*seed, scale)
-	e13(*seed, scale)
-	e14(*seed, scale)
-	e15(*seed)
-	e16(*seed, scale)
-
+	experiments.RunAll(os.Stdout, experiments.Options{Seed: *seed, Scale: scale}, *workers)
 	fmt.Printf("\nall experiments complete in %v\n", time.Since(start).Round(time.Millisecond))
-}
-
-func banner(s string) { fmt.Printf("\n──── %s ────\n", s) }
-
-func e1(seed uint64, scale int) {
-	banner("E1: CHSH values (§2)")
-	rng := xrand.New(seed, 1)
-	g := games.NewCHSH()
-	c := g.ClassicalValue()
-	q := g.QuantumValue(rng)
-	bell := games.NewBellSampler(games.OptimalCHSHAngles(), 1.0, rng)
-	fmt.Printf("classical %.6f (paper 0.75) | quantum SDP %.6f | Born rule %.6f (paper cos²(π/8)=%.6f)\n",
-		c.Value, q.Value, bell.ExactValue(g), math.Pow(math.Cos(math.Pi/8), 2))
-
-	var p stats.Proportion
-	s := q.QuantumSampler(1.0)
-	rounds := 100000 * scale
-	for i := 0; i < rounds; i++ {
-		x, y := g.SampleInput(rng)
-		a, b := s.Sample(x, y, rng)
-		p.Add(g.Wins(x, y, a, b))
-	}
-	lo, hi := p.Wilson95()
-	fmt.Printf("sampled quantum win rate (n=%d): %.4f [%.4f, %.4f]\n", rounds, p.Rate(), lo, hi)
-}
-
-func e2(seed uint64, scale int) {
-	banner("E2 / Figure 3: P(quantum advantage), random XOR games on K5")
-	rng := xrand.New(seed, 2)
-	trials := 150 * scale
-	fmt.Println("p_exclusive  P(advantage)")
-	for _, p := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
-		rate := games.AdvantageProbability(5, p, trials, rng)
-		fmt.Printf("%.1f          %.3f\n", p, rate)
-	}
-}
-
-func e3(seed uint64, scale int) {
-	banner("E3 / Figure 4: mean queue length vs load, N=100")
-	base := loadbalance.Config{
-		NumBalancers: 100,
-		Warmup:       2000 * scale,
-		Slots:        6000 * scale,
-		Discipline:   loadbalance.BatchCFirst,
-		Workload:     workload.Bernoulli{PC: 0.5},
-		Seed:         seed,
-	}
-	loads := []float64{0.7, 0.85, 0.95, 1.0, 1.05, 1.1, 1.2, 1.3}
-	cls := loadbalance.SweepLoad(base, func() loadbalance.Strategy { return loadbalance.RandomStrategy{} }, loads)
-	qnt := loadbalance.SweepLoad(base, func() loadbalance.Strategy {
-		return loadbalance.NewQuantumPairedStrategy(1.0, xrand.New(seed, 3))
-	}, loads)
-	fmt.Println("load   classical-random   quantum-chsh")
-	for i, l := range loads {
-		fmt.Printf("%.2f   %12.2f     %12.2f\n", l, cls.Y[i], qnt.Y[i])
-	}
-	fmt.Printf("knee@5: classical %.3f, quantum %.3f (theory: 1.0 vs ≤4/3)\n",
-		cls.KneeX(5), qnt.KneeX(5))
-}
-
-func e4(seed uint64, scale int) {
-	banner("E4 / Figure 2: decision latency vs quality")
-	cfg := core.DefaultTimingConfig()
-	cfg.Rounds = 5000 * scale
-	cfg.Seed = seed
-	fmt.Print(core.ParetoSummary(core.RunTiming(cfg)))
-}
-
-func e5(seed uint64, scale int) {
-	banner("E5 / §4.2: ECMP no quantum advantage")
-	cfg := ecmp.Config{NumSwitches: 6, NumPaths: 2, ActiveK: 2, Rounds: 50000 * scale, Seed: seed}
-	for _, s := range []ecmp.PathStrategy{
-		ecmp.IndependentRandom{}, ecmp.SharedPermutation{},
-		ecmp.PairwiseAntiCorrelated{Visibility: 1},
-	} {
-		r := ecmp.Run(cfg, s)
-		fmt.Printf("%-26s E[collisions]=%.4f\n", r.Strategy, r.Collisions.Mean())
-	}
-	fmt.Printf("exact classical optimum %.4f | quantum search best %.4f (bound %.4f)\n",
-		ecmp.ExactBestClassical(6, 2, 2),
-		ecmp.QuantumSearchBestCollisions(6, 2, 100*scale, xrand.New(seed, 5)),
-		ecmp.PigeonholeLowerBound(6, 2, 2))
-	rep := ecmp.StandardReductionDemo()
-	fmt.Printf("reduction demo: marginal shift %.1e, mixture error %.1e (both ≈ 0)\n",
-		rep.MaxMarginalShift, rep.MixtureError)
-}
-
-func e6(seed uint64, scale int) {
-	banner("E6: noise robustness (queue length at load 1.1)")
-	base := loadbalance.Config{
-		NumBalancers: 100, NumServers: 91,
-		Warmup: 2000 * scale, Slots: 5000 * scale,
-		Discipline: loadbalance.BatchCFirst,
-		Workload:   workload.Bernoulli{PC: 0.5},
-		Seed:       seed,
-	}
-	fmt.Println("visibility  mean queue  colocation rate")
-	for _, v := range []float64{1.0, 0.9, 0.8, 1 / math.Sqrt2} {
-		s := loadbalance.NewQuantumPairedStrategy(v, xrand.New(seed, 6))
-		r := loadbalance.Run(base, s)
-		fmt.Printf("%.3f       %8.2f    %.4f\n", v, r.QueueLen.Mean(), r.Colocation.Rate())
-	}
-	r := loadbalance.Run(base, loadbalance.RandomStrategy{})
-	fmt.Printf("random      %8.2f    —\n", r.QueueLen.Mean())
-}
-
-func e7(seed uint64, scale int) {
-	banner("E7: entanglement supply vs demand")
-	base := core.DefaultTimingConfig()
-	base.Rounds = 4000 * scale
-	base.Seed = seed
-	fmt.Println("demand/supply  quantum-fraction  win-rate")
-	for _, mult := range []float64{0.5, 1, 2, 4} {
-		cfg := base
-		cfg.RequestRate = base.Source.PairRate * mult
-		for _, r := range core.RunTiming(cfg) {
-			if r.Architecture == "quantum-pre-shared" {
-				fmt.Printf("%.1f            %.3f             %.4f\n", mult, r.QuantumFraction, r.WinRate.Rate())
-			}
-		}
-	}
-}
-
-func e8(seed uint64, scale int) {
-	banner("E8: Mermin-GHZ 3-player game")
-	rng := xrand.New(seed, 8)
-	g := games.MerminGHZ()
-	s := games.NewGHZSampler(3, rng)
-	fmt.Printf("classical %.4f (known 0.75) | GHZ strategy %.4f (known 1.0) | sampled %.4f\n",
-		g.ClassicalValue(), s.ExactValue(g), g.EmpiricalValue(s, 2000*scale, rng))
-}
-
-func e9(seed uint64, scale int) {
-	banner("E9: supply-limited load balancing (E3 × E7)")
-	cfg := loadbalance.Config{
-		NumBalancers: 100, NumServers: 95,
-		Warmup: 1000 * scale, Slots: 4000 * scale,
-		Discipline: loadbalance.BatchCFirst,
-		Workload:   workload.Bernoulli{PC: 0.5},
-		Seed:       seed,
-	}
-	demand := float64(cfg.NumBalancers/2) * 1000 // pair-rounds/s at 1ms slots
-	fmt.Println("supply/demand  quantum-fraction  colocation  mean queue")
-	for _, mult := range []float64{2, 1, 0.5, 0.25, 0} {
-		var s loadbalance.Strategy
-		var sl *loadbalance.SupplyLimitedStrategy
-		if mult == 0 {
-			sl = loadbalance.NewSupplyLimitedStrategy(entangle.EmptySupplier{}, time.Millisecond, xrand.New(seed, 9))
-		} else {
-			sl = loadbalance.NewSupplyLimitedStrategy(
-				loadbalance.NewRatedSupplier(demand*mult, 1.0, 64), time.Millisecond, xrand.New(seed, 9))
-		}
-		s = sl
-		r := loadbalance.Run(cfg, s)
-		fmt.Printf("%.2f           %.3f             %.4f      %.2f\n",
-			mult, sl.QuantumFraction(), sl.ColocationStats().Rate(), r.QueueLen.Mean())
-	}
-}
-
-func e10(seed uint64, scale int) {
-	banner("E10: multi-class XOR-game scheduling (E + two cache subtypes, same-class batching)")
-	// One exclusive class plus two caching subtypes that must not be mixed —
-	// the paper's caveat case where dedicated-server hybrids fail. (The
-	// uniform E,E,C,C structure has NO quantum gap — computing the gap
-	// before provisioning pairs is part of the workflow.)
-	kinds := []games.ClassKind{games.KindExclusive, games.KindCaching, games.KindCaching}
-	weights := []float64{1, 1, 1}
-	game := games.MultiClassColocationGame(kinds, weights)
-	rng := xrand.New(seed, 10)
-	c := game.ClassicalValue()
-	q := game.QuantumValue(rng)
-	fmt.Printf("game values: classical %.4f, quantum %.4f (gap %.4f)\n", c.Value, q.Value, q.Value-c.Value)
-
-	cfg := loadbalance.Config{
-		NumBalancers: 100, NumServers: 91,
-		Warmup: 1000 * scale, Slots: 4000 * scale,
-		Discipline: loadbalance.BatchSameClassC,
-		Workload: workload.MultiClass{Weights: weights,
-			ClassTypes: []workload.TaskType{workload.TypeE, workload.TypeC, workload.TypeC}},
-		Seed: seed,
-	}
-	qs := loadbalance.NewGraphPairedStrategy(game, 1.0, rng)
-	cs := loadbalance.NewGraphClassicalStrategy(game)
-	rq := loadbalance.Run(cfg, qs)
-	rc := loadbalance.Run(cfg, cs)
-	rr := loadbalance.Run(cfg, loadbalance.RandomStrategy{})
-	fmt.Printf("mean queue: random %.2f | graph-classical %.2f | graph-quantum %.2f\n",
-		rr.QueueLen.Mean(), rc.QueueLen.Mean(), rq.QueueLen.Mean())
-	fmt.Printf("preference satisfaction: classical %.4f vs quantum %.4f\n",
-		cs.ColocationStats().Rate(), qs.ColocationStats().Rate())
-}
-
-func e11(seed uint64) {
-	banner("E11: repeater chains (visibility compounding & rate crossover)")
-	_, veff := entangle.SwapWernerPairs(0.95, 0.9)
-	fmt.Printf("swap law check: Werner(0.95)×Werner(0.90) → effective V %.5f (analytic 0.85500)\n", veff)
-	src := entangle.DefaultSource()
-	cross := entangle.CrossoverSegments(src, 300_000, 0.5, 16)
-	fmt.Printf("crossover at 300 km (0.2 dB/km, BSM 0.5): first winning chain has %d segments\n", cross)
-	chain := entangle.RepeaterChain{Segments: 8, Source: src, BSMSuccess: 0.5}
-	fmt.Printf("8-segment chain end-to-end visibility: %.4f (critical for CHSH: %.4f)\n",
-		chain.EndToEndVisibility(), 1/math.Sqrt2)
-	_ = seed
-}
-
-func e12(seed uint64, scale int) {
-	banner("E12: Bell certification (deployment acceptance test)")
-	rng := xrand.New(seed, 12)
-	g := games.NewCHSH()
-	q := g.QuantumValue(rng)
-	rounds := 10000 * scale
-	for _, dev := range []struct {
-		name string
-		s    games.JointSampler
-	}{
-		{"entangled(V=0.95)", q.QuantumSampler(0.95)},
-		{"classical-impostor", g.BestClassicalSampler()},
-		{"PR-box(nonphysical)", &games.PRBoxSampler{Game: g}},
-	} {
-		cert := games.CertifyCHSH(dev.s, rounds, rng)
-		fmt.Printf("%-22s S=%.4f ±%.4f  violates-classical=%v  within-tsirelson=%v\n",
-			dev.name, cert.S, cert.SE, cert.ViolatesClassicalBound(3), cert.WithinTsirelson(3))
-	}
-	fmt.Println("hierarchy: classical ≤ 2 < quantum ≤ 2√2 < no-signaling ≤ 4 — all three tiers distinguished")
-}
-
-func e13(seed uint64, scale int) {
-	banner("E13: cache-level mechanism (LRU textures, 3 classes)")
-	cfg := cachesim.Config{
-		NumDispatchers: 24, NumServers: 42,
-		NumTextures: 3, TextureWeights: []float64{1, 1, 1},
-		CacheSlots: 2, HitCost: 1, MissCost: 3,
-		Warmup: 500 * scale, Ticks: 6000 * scale,
-		Seed: seed,
-	}
-	kinds := []games.ClassKind{games.KindCaching, games.KindCaching, games.KindCaching}
-	game := games.MultiClassColocationGame(kinds, cfg.TextureWeights)
-	rng := xrand.New(seed, 13)
-
-	rr := cachesim.Run(cfg, loadbalance.RandomStrategy{})
-	gc := loadbalance.NewGraphClassicalStrategy(game)
-	rc := cachesim.Run(cfg, gc)
-	gq := loadbalance.NewGraphPairedStrategy(game, 1.0, rng)
-	rq := cachesim.Run(cfg, gq)
-
-	fmt.Println("strategy          hit-rate  sojourn(ticks)")
-	fmt.Printf("random            %.4f    %.2f\n", rr.HitRate.Rate(), rr.Sojourn.Mean())
-	fmt.Printf("graph-classical   %.4f    %.2f\n", rc.HitRate.Rate(), rc.Sojourn.Mean())
-	fmt.Printf("graph-quantum     %.4f    %.2f\n", rq.HitRate.Rate(), rq.Sojourn.Mean())
-	fmt.Println("texture-affinity routing warms LRU caches; entanglement satisfies more")
-	fmt.Println("same-texture colocation preferences than any classical pairing can")
-}
-
-func e14(seed uint64, scale int) {
-	banner("E14: W-state leader election (a further primitive, per the conclusion)")
-	rng := xrand.New(seed, 14)
-	fmt.Println("n   classical P(exactly one)  quantum P  quantum fairness(TV)")
-	for _, n := range []int{2, 3, 5, 8} {
-		st := games.RunLeaderElection(n, 5000*scale, rng)
-		fmt.Printf("%d   %.4f (formula %.4f)   %.4f     %.4f\n",
-			n, st.ClassicalSuccess, games.ClassicalLeaderElectionValue(n),
-			st.QuantumSuccess, st.QuantumFairness)
-	}
-	fmt.Println("anonymous symmetric parties, zero communication: private coins cap at")
-	fmt.Println("(1−1/n)^(n−1) → 1/e, while a shared W state elects exactly one leader,")
-	fmt.Println("uniformly, every round — another coordination primitive beyond XOR games")
-}
-
-func e15(seed uint64) {
-	banner("E15: noise-adaptive measurement (anisotropic channels)")
-	rng := xrand.New(seed, 15)
-	g := games.NewCHSH()
-	fmt.Println("channel              fixed-angle value  re-optimized value  gain")
-	for _, p := range []float64{0.3, 0.6, 0.9} {
-		rho := qsim.DensityFromPure(qsim.Bell()).
-			ApplyChannel(0, qsim.Dephasing(p)).
-			ApplyChannel(1, qsim.Dephasing(p))
-		fixed, adapted := games.AdaptiveGain(g, rho, games.OptimalCHSHAngles(), rng)
-		fmt.Printf("dephasing(p=%.1f)     %.4f             %.4f              %+.4f\n",
-			p, fixed, adapted, adapted-fixed)
-	}
-	fixed, adapted := games.AdaptiveGain(g, qsim.Werner(0.85), games.OptimalCHSHAngles(), rng)
-	fmt.Printf("werner(V=0.85)       %.4f             %.4f              %+.4f  (isotropic: nothing to adapt to)\n",
-		fixed, adapted, adapted-fixed)
-	fmt.Println("dephasing kills X-correlations but spares Z: re-optimizing the bases for")
-	fmt.Println("the certified channel recovers value the paper's fixed angles leave behind")
-}
-
-func e16(seed uint64, scale int) {
-	banner("E16: E91 quantum key distribution (refs [24,45] on our substrate)")
-	rounds := 15000 * scale
-	fmt.Println("channel                 key-bits  QBER    S        verdict")
-	for _, tc := range []struct {
-		name string
-		cfg  qkd.Config
-	}{
-		{"clean (V=1.00)", qkd.Config{Rounds: rounds, Visibility: 1.0, AbortS: 2, Seed: seed}},
-		{"noisy (V=0.90)", qkd.Config{Rounds: rounds, Visibility: 0.9, AbortS: 2, Seed: seed}},
-		{"intercept-resend Eve", qkd.Config{Rounds: rounds, Visibility: 1.0, Eve: qkd.StandardEve(), AbortS: 2, Seed: seed}},
-	} {
-		res := qkd.Run(tc.cfg)
-		verdict := "key accepted"
-		if res.Aborted {
-			verdict = "ABORTED"
-		}
-		fmt.Printf("%-22s  %-8d  %.4f  %.4f   %s\n",
-			tc.name, len(res.Key), res.QBER.Rate(), res.S, verdict)
-	}
-	fmt.Println("the CHSH test that powers the load balancer doubles as the security test:")
-	fmt.Println("any eavesdropper breaks entanglement, S collapses to ≤ 2, the key is discarded")
 }

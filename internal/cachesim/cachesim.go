@@ -92,6 +92,7 @@ func Run(cfg Config, strat loadbalance.Strategy) Result {
 	}
 	view := &queueView{lens: make([]int, cfg.NumServers)}
 	tasks := make([]workload.Task, cfg.NumDispatchers)
+	assign := make([]int, cfg.NumDispatchers) // reused across ticks
 	res := Result{Strategy: strat.Name()}
 
 	total := cfg.Warmup + cfg.Ticks
@@ -103,8 +104,7 @@ func Run(cfg Config, strat loadbalance.Strategy) Result {
 			tex := rng.Categorical(cfg.TextureWeights)
 			tasks[i] = workload.Task{Type: workload.TypeC, Class: tex}
 		}
-		assign := strat.Assign(tasks, view, rng)
-		for i, srv := range assign {
+		for i, srv := range strat.Assign(assign, tasks, view, rng) {
 			servers[srv].queue = append(servers[srv].queue, job{texture: tasks[i].Class, arrived: tick})
 			if measured {
 				res.Arrived++

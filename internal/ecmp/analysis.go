@@ -3,6 +3,7 @@ package ecmp
 import (
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/qsim"
 	"repro/internal/xrand"
 )
@@ -144,21 +145,33 @@ func (qc QuantumCandidate) ExpectedCollisions(k int) float64 {
 // QuantumSearchBestCollisions searches `trials` random quantum candidates
 // (plus GHZ candidates with random angles) for the lowest expected
 // collisions, supporting the conjecture numerically: the returned value can
-// approach but never beat ExactBestClassical(n, 2, k).
+// approach but never beat ExactBestClassical(n, 2, k). Candidates fan out
+// over the worker pool; trial t draws from its own stream derived from
+// (one draw of rng, t), so the minimum is worker-count invariant.
 func QuantumSearchBestCollisions(n, k, trials int, rng *xrand.RNG) float64 {
-	best := math.Inf(1)
-	for t := 0; t < trials; t++ {
+	base := rng.Uint64()
+	vals := parallel.Map(trials, func(t int) float64 {
+		trng := xrand.Derive(base, uint64(t))
 		var cand QuantumCandidate
 		if t%2 == 0 {
-			cand = RandomQuantumCandidate(n, rng)
+			cand = RandomQuantumCandidate(n, trng)
 		} else {
 			angles := make([]float64, n)
 			for i := range angles {
-				angles[i] = rng.Float64() * math.Pi
+				angles[i] = trng.Float64() * math.Pi
 			}
 			cand = GHZCandidate(n, angles)
 		}
-		if v := cand.ExpectedCollisions(k); v < best {
+		return cand.ExpectedCollisions(k)
+	})
+	return minOf(vals)
+}
+
+// minOf returns the smallest value (+Inf for an empty slice).
+func minOf(vals []float64) float64 {
+	best := math.Inf(1)
+	for _, v := range vals {
+		if v < best {
 			best = v
 		}
 	}
@@ -181,19 +194,20 @@ func PigeonholeLowerBound(n, m, k int) float64 {
 // pigeonhole bound (the conjecture's no-input case is proved), and the
 // tests assert exactly that.
 func OptimizeGHZAngles(n, k, restarts int, rng *xrand.RNG) float64 {
-	best := math.Inf(1)
-	for r := 0; r < restarts; r++ {
+	base := rng.Uint64()
+	vals := parallel.Map(restarts, func(r int) float64 {
+		rrng := xrand.Derive(base, uint64(r))
 		angles := make([]float64, n)
 		for i := range angles {
-			angles[i] = rng.Float64() * math.Pi
+			angles[i] = rrng.Float64() * math.Pi
 		}
 		cur := GHZCandidate(n, angles).ExpectedCollisions(k)
+		trial := make([]float64, n)
 		step := 0.5
 		for step > 1e-4 {
 			improved := false
 			for i := 0; i < n; i++ {
 				for _, delta := range []float64{step, -step} {
-					trial := make([]float64, n)
 					copy(trial, angles)
 					trial[i] += delta
 					v := GHZCandidate(n, trial).ExpectedCollisions(k)
@@ -208,11 +222,9 @@ func OptimizeGHZAngles(n, k, restarts int, rng *xrand.RNG) float64 {
 				step /= 2
 			}
 		}
-		if cur < best {
-			best = cur
-		}
-	}
-	return best
+		return cur
+	})
+	return minOf(vals)
 }
 
 // MultiPathCandidate generalizes QuantumCandidate past binary outputs: each
@@ -277,11 +289,9 @@ func (mc MultiPathCandidate) ExpectedCollisions(k int) float64 {
 // these candidates strictly weaker than the classical optimum's balanced
 // assignment — yet more support for the conjecture).
 func MultiPathQuantumSearch(n, m, k, trials int, rng *xrand.RNG) float64 {
-	best := math.Inf(1)
-	for t := 0; t < trials; t++ {
-		if v := RandomMultiPathCandidate(n, m, rng).ExpectedCollisions(k); v < best {
-			best = v
-		}
-	}
-	return best
+	base := rng.Uint64()
+	vals := parallel.Map(trials, func(t int) float64 {
+		return RandomMultiPathCandidate(n, m, xrand.Derive(base, uint64(t))).ExpectedCollisions(k)
+	})
+	return minOf(vals)
 }

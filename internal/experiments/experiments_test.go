@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyOpts keeps every experiment to a few milliseconds so the invariance
+// test can afford two full E1–E16 passes.
+func tinyOpts() Options { return Options{Seed: 42, Scale: 0.02} }
+
+func TestRunAllWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full experiment passes")
+	}
+	var serial, fanned bytes.Buffer
+	RunAll(&serial, tinyOpts(), 1)
+	RunAll(&fanned, tinyOpts(), 8)
+	if serial.String() != fanned.String() {
+		t.Fatalf("output differs between -workers 1 and -workers 8:\n--- serial ---\n%s\n--- workers=8 ---\n%s",
+			serial.String(), fanned.String())
+	}
+}
+
+func TestRunAllEmitsEveryBannerInOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment pass")
+	}
+	var out bytes.Buffer
+	RunAll(&out, tinyOpts(), 4)
+	s := out.String()
+	pos := -1
+	for _, e := range All() {
+		banner := "──── " + e.Title + " ────"
+		i := strings.Index(s, banner)
+		if i < 0 {
+			t.Fatalf("banner for %s missing from output", e.ID)
+		}
+		if i < pos {
+			t.Fatalf("banner for %s out of order", e.ID)
+		}
+		pos = i
+	}
+}
+
+func TestOptionsScaleFloorsAtOne(t *testing.T) {
+	o := Options{Scale: 0.001}
+	if got := o.n(100); got != 1 {
+		t.Fatalf("n(100) at scale 0.001 = %d, want 1", got)
+	}
+	if got := (Options{}).n(100); got != 100 {
+		t.Fatalf("zero scale should behave as 1, got %d", got)
+	}
+	if got := (Options{Scale: 5}.n(100)); got != 500 {
+		t.Fatalf("n(100) at scale 5 = %d, want 500", got)
+	}
+}
+
+func TestAllHasSixteenUniqueIDs(t *testing.T) {
+	exps := All()
+	if len(exps) != 16 {
+		t.Fatalf("len(All()) = %d, want 16", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment ID %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil {
+			t.Fatalf("%s has nil Run", e.ID)
+		}
+		if !strings.HasPrefix(e.Title, e.ID) {
+			t.Fatalf("%s title %q does not lead with its ID", e.ID, e.Title)
+		}
+	}
+}

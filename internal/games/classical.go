@@ -17,7 +17,15 @@ type ClassicalResult struct {
 // then separable per input (pick the sign that maximizes each column's
 // contribution). Cost O(2^NA · NA·NB), exact for the game sizes in the paper
 // (Figure 3 uses 5 vertices). Panics if NA > 24.
+//
+// Results are memoized per sign matrix (see QuantumValue): strategy
+// constructors and the Figure 3 trial loop re-solve identical games freely.
 func (g *XORGame) ClassicalValue() ClassicalResult {
+	return g.cachedClassical()
+}
+
+// classicalValueUncached is the enumeration itself, run on cache misses.
+func (g *XORGame) classicalValueUncached() ClassicalResult {
 	if g.NA > 24 {
 		panic("games: ClassicalValue enumeration too large; reformulate with the smaller alphabet on Alice's side")
 	}

@@ -1,0 +1,35 @@
+package games
+
+import (
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/xrand"
+)
+
+// TestAdvantageProbabilityWorkerInvariance pins the tentpole guarantee at
+// the trial-fan-out layer: each trial draws from its own derived stream, so
+// the measured rate is identical at any worker count.
+func TestAdvantageProbabilityWorkerInvariance(t *testing.T) {
+	run := func(workers int) float64 {
+		parallel.SetDefaultWorkers(workers)
+		defer parallel.SetDefaultWorkers(0)
+		return AdvantageProbability(4, 0.5, 60, xrand.New(99, 1))
+	}
+	a, b := run(1), run(8)
+	if a != b {
+		t.Fatalf("advantage probability differs across worker counts: %v vs %v", a, b)
+	}
+}
+
+// TestAdvantageProbabilityColdVsWarmCache confirms the solve cache is
+// semantically invisible: the same seed gives the same rate whether every
+// solve is a miss or a hit.
+func TestAdvantageProbabilityColdVsWarmCache(t *testing.T) {
+	ResetSolveCache()
+	cold := AdvantageProbability(4, 0.3, 40, xrand.New(5, 2))
+	warm := AdvantageProbability(4, 0.3, 40, xrand.New(5, 2))
+	if cold != warm {
+		t.Fatalf("cache changed results: cold %v, warm %v", cold, warm)
+	}
+}

@@ -39,7 +39,7 @@ func (g *XORGame) QuantumValueRank(rng *xrand.RNG, rank int) QuantumResult {
 	best := QuantumResult{Bias: -2}
 	for r := 0; r < restarts; r++ {
 		u, v := randomUnitVectors(g.NA, rank, rng), randomUnitVectors(g.NB, rank, rng)
-		bias := ascend(m, u, v, rng)
+		bias := ascend(m, u, v)
 		if bias > best.Bias {
 			best = QuantumResult{Bias: bias, Value: ValueFromBias(bias), U: u, V: v}
 		}

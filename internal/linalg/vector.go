@@ -173,6 +173,15 @@ func (v RVec) Normalize() RVec {
 	return v
 }
 
+// Zero clears v in place and returns v, so hot loops can reuse one buffer
+// instead of allocating per iteration.
+func (v RVec) Zero() RVec {
+	for i := range v {
+		v[i] = 0
+	}
+	return v
+}
+
 // AddScaled sets v ← v + c·w in place and returns v.
 func (v RVec) AddScaled(c float64, w RVec) RVec {
 	if len(v) != len(w) {

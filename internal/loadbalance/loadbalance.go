@@ -67,91 +67,148 @@ type queued struct {
 	arrivalSlot int
 }
 
-// Server holds a FIFO queue of tasks.
+// Server holds a FIFO queue of tasks. The queue lives in buf[head:]; popping
+// the front advances head instead of shifting, a removal from the middle
+// shifts only the (short, usually empty) prefix of non-matching tasks in
+// front of it, and the type-C count short-circuits the common "no such
+// type queued" and "only that type queued" scans. Together these turn the
+// simulator's per-slot service step from O(queue) copying with a fresh
+// []queued allocation into near-constant work on a reused buffer.
 type Server struct {
-	queue []queued
+	buf  []queued
+	head int
+	numC int // type-C tasks currently queued
 }
 
 // Len returns the server's queue length.
-func (s *Server) Len() int { return len(s.queue) }
+func (s *Server) Len() int { return len(s.buf) - s.head }
 
-// serve applies one slot of the discipline, removing the served tasks and
-// returning them.
-func (s *Server) serve(d Discipline) []queued {
-	if len(s.queue) == 0 {
-		return nil
+// push appends a task to the queue tail.
+func (s *Server) push(q queued) {
+	if s.head > 0 && len(s.buf) == cap(s.buf) {
+		// Reclaim the consumed prefix before growing the backing array.
+		n := copy(s.buf, s.buf[s.head:])
+		s.buf = s.buf[:n]
+		s.head = 0
+	}
+	s.buf = append(s.buf, q)
+	if q.task.Type == workload.TypeC {
+		s.numC++
+	}
+}
+
+// numOfType returns how many queued tasks have the given type.
+func (s *Server) numOfType(t workload.TaskType) int {
+	if t == workload.TypeC {
+		return s.numC
+	}
+	return s.Len() - s.numC
+}
+
+// firstOfType returns the buf index of the oldest queued task of type t,
+// or -1. The count fast paths skip the scan when the queue holds none (or
+// nothing but) that type — the two overwhelmingly common cases under the
+// Bernoulli workloads.
+func (s *Server) firstOfType(t workload.TaskType) int {
+	n := s.numOfType(t)
+	if n == 0 {
+		return -1
+	}
+	if n == s.Len() {
+		return s.head
+	}
+	for i := s.head; i < len(s.buf); i++ {
+		if s.buf[i].task.Type == t {
+			return i
+		}
+	}
+	return -1
+}
+
+// firstOfClass returns the buf index of the oldest queued task of type t
+// and the given class, or -1.
+func (s *Server) firstOfClass(t workload.TaskType, class int) int {
+	if s.numOfType(t) == 0 {
+		return -1
+	}
+	for i := s.head; i < len(s.buf); i++ {
+		if s.buf[i].task.Type == t && s.buf[i].task.Class == class {
+			return i
+		}
+	}
+	return -1
+}
+
+// removeAt removes and returns the task at buf index i, preserving the
+// relative order of the rest: the prefix buf[head:i] shifts right by one.
+// For i == head (the usual case) this is a pure pointer bump.
+func (s *Server) removeAt(i int) queued {
+	q := s.buf[i]
+	copy(s.buf[s.head+1:i+1], s.buf[s.head:i])
+	s.head++
+	if q.task.Type == workload.TypeC {
+		s.numC--
+	}
+	if s.head == len(s.buf) {
+		s.buf = s.buf[:0]
+		s.head = 0
+	}
+	return q
+}
+
+// serve applies one slot of the discipline, removing the served tasks from
+// the queue and appending them to out (the caller's reused scratch buffer,
+// at most two entries per slot).
+func (s *Server) serve(d Discipline, out []queued) []queued {
+	if s.Len() == 0 {
+		return out
 	}
 	switch d {
 	case BatchCFirst:
 		if idx := s.firstOfType(workload.TypeC); idx >= 0 {
-			first := s.remove(idx)
-			out := []queued{first}
+			out = append(out, s.removeAt(idx))
 			if idx2 := s.firstOfType(workload.TypeC); idx2 >= 0 {
-				out = append(out, s.remove(idx2))
+				out = append(out, s.removeAt(idx2))
 			}
 			return out
 		}
-		return []queued{s.remove(0)}
+		return append(out, s.removeAt(s.head))
 	case SingleCFirst:
 		if idx := s.firstOfType(workload.TypeC); idx >= 0 {
-			return []queued{s.remove(idx)}
+			return append(out, s.removeAt(idx))
 		}
-		return []queued{s.remove(0)}
+		return append(out, s.removeAt(s.head))
 	case FIFOBatch:
-		head := s.remove(0)
-		out := []queued{head}
+		head := s.removeAt(s.head)
+		out = append(out, head)
 		if head.task.Type == workload.TypeC {
 			if idx := s.firstOfType(workload.TypeC); idx >= 0 {
-				out = append(out, s.remove(idx))
+				out = append(out, s.removeAt(idx))
 			}
 		}
 		return out
 	case EFirst:
 		if idx := s.firstOfType(workload.TypeE); idx >= 0 {
-			return []queued{s.remove(idx)}
+			return append(out, s.removeAt(idx))
 		}
-		out := []queued{s.remove(0)}
+		out = append(out, s.removeAt(s.head))
 		if idx := s.firstOfType(workload.TypeC); idx >= 0 {
-			out = append(out, s.remove(idx))
+			out = append(out, s.removeAt(idx))
 		}
 		return out
 	case BatchSameClassC:
 		if idx := s.firstOfType(workload.TypeC); idx >= 0 {
-			first := s.remove(idx)
-			out := []queued{first}
+			first := s.removeAt(idx)
+			out = append(out, first)
 			if idx2 := s.firstOfClass(workload.TypeC, first.task.Class); idx2 >= 0 {
-				out = append(out, s.remove(idx2))
+				out = append(out, s.removeAt(idx2))
 			}
 			return out
 		}
-		return []queued{s.remove(0)}
+		return append(out, s.removeAt(s.head))
 	default:
 		panic("loadbalance: unknown discipline")
 	}
-}
-
-func (s *Server) firstOfType(t workload.TaskType) int {
-	for i, q := range s.queue {
-		if q.task.Type == t {
-			return i
-		}
-	}
-	return -1
-}
-
-func (s *Server) firstOfClass(t workload.TaskType, class int) int {
-	for i, q := range s.queue {
-		if q.task.Type == t && q.task.Class == class {
-			return i
-		}
-	}
-	return -1
-}
-
-func (s *Server) remove(i int) queued {
-	q := s.queue[i]
-	s.queue = append(s.queue[:i], s.queue[i+1:]...)
-	return q
 }
 
 // View is the (possibly stale) cluster state a strategy may consult.
@@ -166,9 +223,12 @@ type View interface {
 // Strategy assigns each balancer's task to a server for one slot.
 type Strategy interface {
 	Name() string
-	// Assign returns one server index per task. tasks[i] belongs to
-	// balancer i. Implementations must not retain the slice.
-	Assign(tasks []workload.Task, view View, rng *xrand.RNG) []int
+	// Assign writes one server index per task into dst — dst[i] for
+	// tasks[i], task i belonging to balancer i — and returns the filled
+	// slice. The caller guarantees len(dst) == len(tasks) and reuses dst
+	// across slots, so implementations must neither retain dst nor tasks
+	// past the call, nor read dst's previous contents.
+	Assign(dst []int, tasks []workload.Task, view View, rng *xrand.RNG) []int
 }
 
 // ColocationTracker is implemented by paired strategies that can report how
@@ -227,15 +287,33 @@ func (v *clusterView) NumServers() int         { return len(v.lens) }
 func (v *clusterView) QueueLen(server int) int { return v.lens[server] }
 
 // Run executes the simulation and returns aggregated metrics. The run is
-// deterministic in (Config.Seed, strategy).
+// deterministic in (Config.Seed, strategy). It panics on an invalid config
+// or a misbehaving strategy; parallel drivers that must survive a bad sweep
+// point use RunE instead.
 func Run(cfg Config, strat Strategy) Result {
-	if err := cfg.Validate(); err != nil {
+	res, err := RunE(cfg, strat)
+	if err != nil {
 		panic(err)
+	}
+	return res
+}
+
+// RunE is Run with errors instead of panics: an invalid configuration or a
+// strategy that returns a malformed assignment surfaces as an error the
+// caller (e.g. a worker goroutine in a sweep) can report without tearing
+// down the whole process.
+func RunE(cfg Config, strat Strategy) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	rng := xrand.New(cfg.Seed, 0x10adba1)
 	servers := make([]Server, cfg.NumServers)
 	view := &clusterView{lens: make([]int, cfg.NumServers)}
 	tasks := make([]workload.Task, cfg.NumBalancers)
+	// The assignment buffer and the serve scratch are allocated once and
+	// reused every slot; strategies fill assign in place (see Strategy).
+	assign := make([]int, cfg.NumBalancers)
+	scratch := make([]queued, 0, 2)
 
 	res := Result{
 		Strategy: strat.Name(),
@@ -255,16 +333,17 @@ func Run(cfg Config, strat Strategy) Result {
 		}
 
 		// 2. Assignment.
-		assign := strat.Assign(tasks, view, rng)
-		if len(assign) != len(tasks) {
-			panic(fmt.Sprintf("loadbalance: strategy %s returned %d assignments for %d tasks",
-				strat.Name(), len(assign), len(tasks)))
+		got := strat.Assign(assign, tasks, view, rng)
+		if len(got) != len(tasks) {
+			return res, fmt.Errorf("loadbalance: strategy %s returned %d assignments for %d tasks",
+				strat.Name(), len(got), len(tasks))
 		}
-		for i, srv := range assign {
+		for i, srv := range got {
 			if srv < 0 || srv >= cfg.NumServers {
-				panic(fmt.Sprintf("loadbalance: strategy %s assigned out-of-range server %d", strat.Name(), srv))
+				return res, fmt.Errorf("loadbalance: strategy %s assigned out-of-range server %d",
+					strat.Name(), srv)
 			}
-			servers[srv].queue = append(servers[srv].queue, queued{task: tasks[i], arrivalSlot: slot})
+			servers[srv].push(queued{task: tasks[i], arrivalSlot: slot})
 			if measured {
 				res.Arrived++
 			}
@@ -272,7 +351,8 @@ func Run(cfg Config, strat Strategy) Result {
 
 		// 3. Service.
 		for s := range servers {
-			for _, done := range servers[s].serve(cfg.Discipline) {
+			scratch = servers[s].serve(cfg.Discipline, scratch[:0])
+			for _, done := range scratch {
 				if measured {
 					res.Served++
 					res.Delay.Add(float64(slot - done.arrivalSlot))
@@ -301,5 +381,5 @@ func Run(cfg Config, strat Strategy) Result {
 	if ct, ok := strat.(ColocationTracker); ok {
 		res.Colocation = *ct.ColocationStats()
 	}
-	return res
+	return res, nil
 }

@@ -50,12 +50,10 @@ func TestDeterminism(t *testing.T) {
 
 func TestServerDisciplineBatchCFirst(t *testing.T) {
 	s := &Server{}
-	s.queue = []queued{
-		{task: workload.Task{Type: workload.TypeE}},
-		{task: workload.Task{Type: workload.TypeC}},
-		{task: workload.Task{Type: workload.TypeC}},
-	}
-	served := s.serve(BatchCFirst)
+	s.push(queued{task: workload.Task{Type: workload.TypeE}})
+	s.push(queued{task: workload.Task{Type: workload.TypeC}})
+	s.push(queued{task: workload.Task{Type: workload.TypeC}})
+	served := s.serve(BatchCFirst, nil)
 	if len(served) != 2 {
 		t.Fatalf("served %d tasks, want 2 (C batch)", len(served))
 	}
@@ -65,7 +63,7 @@ func TestServerDisciplineBatchCFirst(t *testing.T) {
 		}
 	}
 	// Only the E remains; next slot serves it alone.
-	served = s.serve(BatchCFirst)
+	served = s.serve(BatchCFirst, nil)
 	if len(served) != 1 || served[0].task.Type != workload.TypeE {
 		t.Fatalf("second slot served %v", served)
 	}
@@ -76,28 +74,24 @@ func TestServerDisciplineBatchCFirst(t *testing.T) {
 
 func TestServerDisciplineSingleC(t *testing.T) {
 	s := &Server{}
-	s.queue = []queued{
-		{task: workload.Task{Type: workload.TypeC}},
-		{task: workload.Task{Type: workload.TypeC}},
-	}
-	if got := s.serve(SingleCFirst); len(got) != 1 {
+	s.push(queued{task: workload.Task{Type: workload.TypeC}})
+	s.push(queued{task: workload.Task{Type: workload.TypeC}})
+	if got := s.serve(SingleCFirst, nil); len(got) != 1 {
 		t.Fatalf("SingleCFirst served %d", len(got))
 	}
 }
 
 func TestServerDisciplineFIFOBatch(t *testing.T) {
 	s := &Server{}
-	s.queue = []queued{
-		{task: workload.Task{Type: workload.TypeC}},
-		{task: workload.Task{Type: workload.TypeE}},
-		{task: workload.Task{Type: workload.TypeC}},
-	}
-	got := s.serve(FIFOBatch)
+	s.push(queued{task: workload.Task{Type: workload.TypeC}})
+	s.push(queued{task: workload.Task{Type: workload.TypeE}})
+	s.push(queued{task: workload.Task{Type: workload.TypeC}})
+	got := s.serve(FIFOBatch, nil)
 	if len(got) != 2 || got[0].task.Type != workload.TypeC || got[1].task.Type != workload.TypeC {
 		t.Fatalf("FIFOBatch head-C should pull the next C: %v", got)
 	}
 	// E head rides alone.
-	got = s.serve(FIFOBatch)
+	got = s.serve(FIFOBatch, nil)
 	if len(got) != 1 || got[0].task.Type != workload.TypeE {
 		t.Fatalf("FIFOBatch E head: %v", got)
 	}
@@ -105,16 +99,14 @@ func TestServerDisciplineFIFOBatch(t *testing.T) {
 
 func TestServerDisciplineEFirst(t *testing.T) {
 	s := &Server{}
-	s.queue = []queued{
-		{task: workload.Task{Type: workload.TypeC}},
-		{task: workload.Task{Type: workload.TypeC}},
-		{task: workload.Task{Type: workload.TypeE}},
-	}
-	got := s.serve(EFirst)
+	s.push(queued{task: workload.Task{Type: workload.TypeC}})
+	s.push(queued{task: workload.Task{Type: workload.TypeC}})
+	s.push(queued{task: workload.Task{Type: workload.TypeE}})
+	got := s.serve(EFirst, nil)
 	if len(got) != 1 || got[0].task.Type != workload.TypeE {
 		t.Fatalf("EFirst should serve the E: %v", got)
 	}
-	got = s.serve(EFirst)
+	got = s.serve(EFirst, nil)
 	if len(got) != 2 {
 		t.Fatalf("EFirst with no E serves the C batch: %v", got)
 	}
@@ -123,9 +115,51 @@ func TestServerDisciplineEFirst(t *testing.T) {
 func TestServeEmpty(t *testing.T) {
 	s := &Server{}
 	for _, d := range []Discipline{BatchCFirst, SingleCFirst, FIFOBatch, EFirst} {
-		if got := s.serve(d); got != nil {
+		if got := s.serve(d, nil); got != nil {
 			t.Fatalf("%v on empty queue served %v", d, got)
 		}
+	}
+}
+
+// TestServerQueueBookkeeping drives the ring-buffer queue through pushes,
+// head pops, and mid-queue removals, checking Len and the type-C count the
+// fast paths rely on.
+func TestServerQueueBookkeeping(t *testing.T) {
+	s := &Server{}
+	for i := 0; i < 5; i++ {
+		typ := workload.TypeE
+		if i%2 == 1 {
+			typ = workload.TypeC
+		}
+		s.push(queued{task: workload.Task{Type: typ}, arrivalSlot: i})
+	}
+	// Queue: E0 C1 E2 C3 E4 — numC = 2.
+	if s.Len() != 5 || s.numOfType(workload.TypeC) != 2 || s.numOfType(workload.TypeE) != 3 {
+		t.Fatalf("Len=%d numC=%d numE=%d", s.Len(), s.numOfType(workload.TypeC), s.numOfType(workload.TypeE))
+	}
+	// Mid-queue removal preserves FIFO order of the rest.
+	idx := s.firstOfType(workload.TypeC)
+	if got := s.removeAt(idx); got.arrivalSlot != 1 {
+		t.Fatalf("first C was slot %d, want 1", got.arrivalSlot)
+	}
+	wantOrder := []int{0, 2, 3, 4}
+	for _, want := range wantOrder {
+		if got := s.removeAt(s.head); got.arrivalSlot != want {
+			t.Fatalf("pop got slot %d, want %d", got.arrivalSlot, want)
+		}
+	}
+	if s.Len() != 0 || s.numOfType(workload.TypeC) != 0 {
+		t.Fatalf("queue not empty after draining: Len=%d numC=%d", s.Len(), s.numC)
+	}
+	// Interleave pushes and pops long enough to force prefix compaction.
+	for i := 0; i < 1000; i++ {
+		s.push(queued{task: workload.Task{Type: workload.TypeC}, arrivalSlot: i})
+		if i%2 == 1 {
+			s.removeAt(s.firstOfType(workload.TypeC))
+		}
+	}
+	if s.Len() != 500 || s.numC != 500 {
+		t.Fatalf("after churn: Len=%d numC=%d, want 500/500", s.Len(), s.numC)
 	}
 }
 

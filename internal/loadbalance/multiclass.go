@@ -51,10 +51,10 @@ func NewGraphClassicalStrategy(game *games.XORGame) *GraphPairedStrategy {
 func (g *GraphPairedStrategy) Name() string { return g.name }
 
 // Assign implements Strategy.
-func (g *GraphPairedStrategy) Assign(tasks []workload.Task, view View, rng *xrand.RNG) []int {
+func (g *GraphPairedStrategy) Assign(dst []int, tasks []workload.Task, view View, rng *xrand.RNG) []int {
 	n := len(tasks)
 	m := view.NumServers()
-	out := make([]int, n)
+	out := dst
 	for k := 0; k+1 < n; k += 2 {
 		i, j := k, k+1
 		cx, cy := tasks[i].Class, tasks[j].Class

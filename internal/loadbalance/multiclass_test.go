@@ -138,26 +138,25 @@ func TestGraphStrategyClassOutOfRangePanics(t *testing.T) {
 
 func TestBatchSameClassCDiscipline(t *testing.T) {
 	s := &Server{}
-	s.queue = []queued{
-		{task: workload.Task{Type: workload.TypeC, Class: 2}},
-		{task: workload.Task{Type: workload.TypeC, Class: 3}},
-		{task: workload.Task{Type: workload.TypeC, Class: 2}},
-	}
-	got := s.serve(BatchSameClassC)
+	s.push(queued{task: workload.Task{Type: workload.TypeC, Class: 2}})
+	s.push(queued{task: workload.Task{Type: workload.TypeC, Class: 3}})
+	s.push(queued{task: workload.Task{Type: workload.TypeC, Class: 2}})
+	got := s.serve(BatchSameClassC, nil)
 	if len(got) != 2 || got[0].task.Class != 2 || got[1].task.Class != 2 {
 		t.Fatalf("same-class batch wrong: %v", got)
 	}
 	// The lone class-3 C now rides alone.
-	got = s.serve(BatchSameClassC)
+	got = s.serve(BatchSameClassC, nil)
 	if len(got) != 1 || got[0].task.Class != 3 {
 		t.Fatalf("lone C should ride alone: %v", got)
 	}
 	// Empty and E-only behavior.
-	s.queue = []queued{{task: workload.Task{Type: workload.TypeE}}}
-	if got := s.serve(BatchSameClassC); len(got) != 1 {
+	s = &Server{}
+	s.push(queued{task: workload.Task{Type: workload.TypeE}})
+	if got := s.serve(BatchSameClassC, nil); len(got) != 1 {
 		t.Fatalf("E should serve singly: %v", got)
 	}
-	if got := s.serve(BatchSameClassC); got != nil {
+	if got := s.serve(BatchSameClassC, nil); got != nil {
 		t.Fatal("empty queue should serve nothing")
 	}
 }

@@ -17,8 +17,8 @@ type RandomStrategy struct{}
 func (RandomStrategy) Name() string { return "classical-random" }
 
 // Assign implements Strategy.
-func (RandomStrategy) Assign(tasks []workload.Task, view View, rng *xrand.RNG) []int {
-	out := make([]int, len(tasks))
+func (RandomStrategy) Assign(dst []int, tasks []workload.Task, view View, rng *xrand.RNG) []int {
+	out := dst
 	for i := range out {
 		out[i] = rng.IntN(view.NumServers())
 	}
@@ -35,7 +35,7 @@ type RoundRobinStrategy struct {
 func (*RoundRobinStrategy) Name() string { return "round-robin" }
 
 // Assign implements Strategy.
-func (r *RoundRobinStrategy) Assign(tasks []workload.Task, view View, rng *xrand.RNG) []int {
+func (r *RoundRobinStrategy) Assign(dst []int, tasks []workload.Task, view View, rng *xrand.RNG) []int {
 	m := view.NumServers()
 	if r.next == nil {
 		r.next = make([]int, len(tasks))
@@ -43,7 +43,7 @@ func (r *RoundRobinStrategy) Assign(tasks []workload.Task, view View, rng *xrand
 			r.next[i] = rng.IntN(m)
 		}
 	}
-	out := make([]int, len(tasks))
+	out := dst
 	for i := range out {
 		out[i] = r.next[i] % m
 		r.next[i] = (r.next[i] + 1) % m
@@ -59,8 +59,8 @@ type PowerOfTwoStrategy struct{}
 func (PowerOfTwoStrategy) Name() string { return "power-of-two" }
 
 // Assign implements Strategy.
-func (PowerOfTwoStrategy) Assign(tasks []workload.Task, view View, rng *xrand.RNG) []int {
-	out := make([]int, len(tasks))
+func (PowerOfTwoStrategy) Assign(dst []int, tasks []workload.Task, view View, rng *xrand.RNG) []int {
+	out := dst
 	for i := range out {
 		a, b := rng.TwoDistinct(view.NumServers())
 		if view.QueueLen(b) < view.QueueLen(a) {
@@ -83,6 +83,7 @@ type PairedStrategy struct {
 	// default is static pairing (i, i+1).
 	repairEachSlot bool
 	coloc          stats.Proportion
+	order          []int // reused pairing order, rebuilt per slot
 }
 
 // NewQuantumPairedStrategy builds the paper's quantum strategy: each pair
@@ -125,12 +126,15 @@ func (p *PairedStrategy) WithRepairing() *PairedStrategy {
 func (p *PairedStrategy) Name() string { return p.name }
 
 // Assign implements Strategy.
-func (p *PairedStrategy) Assign(tasks []workload.Task, view View, rng *xrand.RNG) []int {
+func (p *PairedStrategy) Assign(dst []int, tasks []workload.Task, view View, rng *xrand.RNG) []int {
 	n := len(tasks)
 	m := view.NumServers()
-	out := make([]int, n)
+	out := dst
 
-	order := make([]int, n)
+	if cap(p.order) < n {
+		p.order = make([]int, n)
+	}
+	order := p.order[:n]
 	for i := range order {
 		order[i] = i
 	}
@@ -182,7 +186,7 @@ type DedicatedStrategy struct {
 func (d DedicatedStrategy) Name() string { return fmt.Sprintf("dedicated(%.2f)", d.FractionC) }
 
 // Assign implements Strategy.
-func (d DedicatedStrategy) Assign(tasks []workload.Task, view View, rng *xrand.RNG) []int {
+func (d DedicatedStrategy) Assign(dst []int, tasks []workload.Task, view View, rng *xrand.RNG) []int {
 	m := view.NumServers()
 	nC := int(d.FractionC * float64(m))
 	if nC < 1 {
@@ -191,7 +195,7 @@ func (d DedicatedStrategy) Assign(tasks []workload.Task, view View, rng *xrand.R
 	if nC >= m {
 		nC = m - 1
 	}
-	out := make([]int, len(tasks))
+	out := dst
 	for i, t := range tasks {
 		if t.Type == workload.TypeC {
 			out[i] = rng.IntN(nC)
@@ -213,13 +217,13 @@ type OracleStrategy struct{}
 func (OracleStrategy) Name() string { return "oracle-full-communication" }
 
 // Assign implements Strategy.
-func (OracleStrategy) Assign(tasks []workload.Task, view View, rng *xrand.RNG) []int {
+func (OracleStrategy) Assign(dst []int, tasks []workload.Task, view View, rng *xrand.RNG) []int {
 	m := view.NumServers()
 	load := make([]int, m)
 	for s := 0; s < m; s++ {
 		load[s] = view.QueueLen(s)
 	}
-	out := make([]int, len(tasks))
+	out := dst
 
 	var cIdx, eIdx []int
 	for i, t := range tasks {

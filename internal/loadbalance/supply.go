@@ -53,12 +53,12 @@ func NewSupplyLimitedStrategy(supplier entangle.Supplier, slotDuration time.Dura
 func (s *SupplyLimitedStrategy) Name() string { return s.name }
 
 // Assign implements Strategy.
-func (s *SupplyLimitedStrategy) Assign(tasks []workload.Task, view View, rng *xrand.RNG) []int {
+func (s *SupplyLimitedStrategy) Assign(dst []int, tasks []workload.Task, view View, rng *xrand.RNG) []int {
 	now := time.Duration(s.slot) * s.slotDuration
 	s.slot++
 	n := len(tasks)
 	m := view.NumServers()
-	out := make([]int, n)
+	out := dst
 	for k := 0; k+1 < n; k += 2 {
 		i, j := k, k+1
 		s0, s1 := rng.TwoDistinct(m)

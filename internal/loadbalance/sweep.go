@@ -3,22 +3,41 @@ package loadbalance
 import (
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
 // StrategyFactory builds a fresh strategy per sweep point (strategies carry
 // per-run state such as round-robin counters and colocation statistics).
+// Sweeps call the factory serially, in point order, before fanning the runs
+// out — a factory may therefore draw from a captured RNG — but each returned
+// strategy is driven from a worker goroutine and must not share mutable
+// state with its siblings.
 type StrategyFactory func() Strategy
+
+// sweepPoints builds one strategy per load (serially, so factory-side RNG
+// draws keep their order) and runs the simulations on the default worker
+// pool. Each run derives all randomness from base.Seed, so the result slice
+// is identical at any worker count.
+func sweepPoints(base Config, factory StrategyFactory, loads []float64) []Result {
+	strats := make([]Strategy, len(loads))
+	for i := range strats {
+		strats[i] = factory()
+	}
+	return parallel.Map(len(loads), func(i int) Result {
+		cfg := base
+		cfg.NumServers = serversForLoad(base.NumBalancers, loads[i])
+		return Run(cfg, strats[i])
+	})
+}
 
 // SweepLoad regenerates a Figure 4 series: it holds NumBalancers fixed and
 // varies the server count so the load ratio N/M traverses `loads`, running
-// one simulation per point and recording mean queue length with its 95% CI.
+// one simulation per point (points fan out over the worker pool) and
+// recording mean queue length with its 95% CI.
 func SweepLoad(base Config, factory StrategyFactory, loads []float64) stats.Series {
 	var series stats.Series
-	for _, load := range loads {
-		cfg := base
-		cfg.NumServers = serversForLoad(base.NumBalancers, load)
-		r := Run(cfg, factory())
+	for _, r := range sweepPoints(base, factory, loads) {
 		if series.Name == "" {
 			series.Name = r.Strategy
 		}
@@ -38,10 +57,7 @@ func SweepLoad(base Config, factory StrategyFactory, loads []float64) stats.Seri
 // caption metric) instead of queue length.
 func SweepDelay(base Config, factory StrategyFactory, loads []float64) stats.Series {
 	var series stats.Series
-	for _, load := range loads {
-		cfg := base
-		cfg.NumServers = serversForLoad(base.NumBalancers, load)
-		r := Run(cfg, factory())
+	for _, r := range sweepPoints(base, factory, loads) {
 		if series.Name == "" {
 			series.Name = r.Strategy
 		}

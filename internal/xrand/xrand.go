@@ -30,6 +30,15 @@ func (g *RNG) Split(index uint64) *RNG {
 	return New(g.r.Uint64(), mix(index))
 }
 
+// Derive builds the index-th member of an independent stream family rooted
+// at base. Unlike Split it reads no parent state, so it is the seeding
+// primitive for deterministic fan-out: a caller draws base from its own
+// stream once, then parallel job i uses Derive(base, i) — the jobs' streams
+// are identical whether they run serially or on any number of workers.
+func Derive(base, index uint64) *RNG {
+	return New(base, mix(index))
+}
+
 // mix is splitmix64's finalizer; it decorrelates consecutive indices.
 func mix(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
