@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify race bench bench-report repro clean
+.PHONY: build test verify race lint bench bench-report repro clean
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,13 @@ verify: build
 
 race:
 	$(GO) test -race ./...
+
+# Static analysis matching the CI gate. staticcheck is skipped (with a
+# note) when not installed; CI always runs it.
+lint:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (CI runs it)"; fi
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -22,12 +22,14 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/games"
 	"repro/internal/loadbalance"
+	"repro/internal/metrics"
 	"repro/internal/parallel"
 	"repro/internal/workload"
 	"repro/internal/xrand"
@@ -85,7 +87,24 @@ func main() {
 	seed := flag.Uint64("seed", 42, "master seed")
 	scale := flag.Float64("scale", 1.0, "experiment scale factor")
 	workers := flag.Int("workers", 0, "pool width for the parallel pass (0 = GOMAXPROCS)")
+	metricsPath := flag.String("metrics", "", "write a JSON metrics artifact for the whole bench run (- for stdout)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this path")
 	flag.Parse()
+
+	benchStart := time.Now()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	w := *workers
 	if w <= 0 {
@@ -122,6 +141,41 @@ func main() {
 	for _, m := range rep.Micro {
 		fmt.Fprintf(os.Stderr, "%-24s %12.0f ns/op %8d B/op %6d allocs/op\n",
 			m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+	}
+
+	// The metrics artifact complements the bench report: the report carries
+	// what bench measured (timings), the artifact what the instrumented
+	// packages observed across every pass (cache hit rates, pool
+	// utilization, simulator task flow).
+	if *metricsPath != "" {
+		art := metrics.NewArtifact("bench")
+		art.Seed = *seed
+		art.Config = map[string]any{"scale": *scale, "workers": w, "out": *out}
+		art.WallMS = ms(time.Since(benchStart))
+		for _, e := range rep.Experiments {
+			art.Experiments = append(art.Experiments, metrics.ExperimentMetrics{ID: e.ID, WallMS: e.ParallelMS})
+		}
+		art.Metrics = metrics.Default().Snapshot()
+		if err := art.WriteFile(*metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if *metricsPath != "-" {
+			fmt.Fprintln(os.Stderr, "wrote", *metricsPath)
+		}
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")

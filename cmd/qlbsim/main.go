@@ -29,8 +29,10 @@ func main() {
 	ablation := flag.Bool("ablation", false, "run the server-discipline ablation")
 	loadsFlag := flag.String("loads", "0.5,0.7,0.85,0.95,1.0,1.05,1.1,1.15,1.2,1.25,1.3,1.4", "comma-separated N/M load points")
 	csvPath := flag.String("csv", "", "also write the Figure 4 series to this CSV file")
+	seriesPath := flag.String("series", "", "write the full Figure 4 knee curve (queue length AND delay, ±95% CI per strategy) to this CSV file")
 	flag.Parse()
 	csvOut = *csvPath
+	seriesOut = *seriesPath
 
 	loads := parseLoads(*loadsFlag)
 	base := loadbalance.Config{
@@ -85,8 +87,9 @@ func runFigure4(base loadbalance.Config, loads []float64, seed uint64, all bool)
 	}
 
 	series := map[string]stats.Series{}
+	delays := map[string]stats.Series{}
 	for _, name := range order {
-		series[name] = loadbalance.SweepLoad(base, factories[name], loads)
+		series[name], delays[name] = loadbalance.SweepBoth(base, factories[name], loads)
 	}
 
 	header := "load(N/M)"
@@ -124,10 +127,25 @@ func runFigure4(base loadbalance.Config, loads []float64, seed uint64, all bool)
 		}
 		writeCSV(csvOut, report.FromSeries("figure4", "load", all...))
 	}
+	if seriesOut != "" {
+		// The full knee curve: queue length and delay side by side, so a
+		// replot needs exactly one file. Suffixes distinguish the two
+		// metrics for each strategy.
+		both := make([]stats.Series, 0, 2*len(order))
+		for _, name := range order {
+			q := series[name]
+			q.Name = name + "/qlen"
+			d := delays[name]
+			d.Name = name + "/delay"
+			both = append(both, q, d)
+		}
+		writeCSV(seriesOut, report.FromSeries("figure4-knee", "load", both...))
+	}
 }
 
-// csvOut is the optional CSV destination set by the -csv flag.
-var csvOut string
+// csvOut and seriesOut are the optional CSV destinations set by -csv and
+// -series.
+var csvOut, seriesOut string
 
 func writeCSV(path string, t *report.Table) {
 	f, err := os.Create(path)

@@ -7,15 +7,23 @@
 // Independent experiments fan out over a worker pool (-workers, default
 // GOMAXPROCS); output is buffered per experiment and emitted in E1..E16
 // order, byte-identical at any worker count for a fixed seed.
+//
+// Observability: -metrics out.json writes a structured run artifact (config,
+// seed, git describe, per-experiment wall times, solve-cache and worker-pool
+// counters — see README "Observability"); -cpuprofile/-memprofile write
+// standard pprof profiles of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/parallel"
 )
 
@@ -23,17 +31,72 @@ func main() {
 	full := flag.Bool("full", false, "publication-scale runs (slower)")
 	seed := flag.Uint64("seed", 42, "master seed")
 	workers := flag.Int("workers", 0, "worker goroutines for the experiment fan-out (0 = GOMAXPROCS)")
+	metricsPath := flag.String("metrics", "", "write a JSON run artifact to this path (- for stdout)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this path")
 	flag.Parse()
 
 	// Inner fan-outs (sweeps, advantage trials, quantum searches) share the
 	// same pool width as the experiment-level fan-out.
 	parallel.SetDefaultWorkers(*workers)
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	scale := 1.0
 	if *full {
 		scale = 5
 	}
 	start := time.Now()
-	experiments.RunAll(os.Stdout, experiments.Options{Seed: *seed, Scale: scale}, *workers)
-	fmt.Printf("\nall experiments complete in %v\n", time.Since(start).Round(time.Millisecond))
+	timings := experiments.RunAll(os.Stdout, experiments.Options{Seed: *seed, Scale: scale}, *workers)
+	wall := time.Since(start)
+	fmt.Printf("\nall experiments complete in %v\n", wall.Round(time.Millisecond))
+
+	if *metricsPath != "" {
+		art := metrics.NewArtifact("repro")
+		art.Seed = *seed
+		art.Config = map[string]any{
+			"full":    *full,
+			"scale":   scale,
+			"workers": *workers,
+		}
+		art.WallMS = float64(wall.Nanoseconds()) / 1e6
+		for _, t := range timings {
+			art.Experiments = append(art.Experiments, metrics.ExperimentMetrics{
+				ID: t.ID, WallMS: float64(t.Wall.Nanoseconds()) / 1e6,
+			})
+		}
+		art.Metrics = metrics.Default().Snapshot()
+		if err := art.WriteFile(*metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		if *metricsPath != "-" {
+			fmt.Fprintln(os.Stderr, "wrote", *metricsPath)
+		}
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/entangle"
 	"repro/internal/games"
 	"repro/internal/loadbalance"
+	"repro/internal/metrics"
 	"repro/internal/parallel"
 	"repro/internal/qkd"
 	"repro/internal/qsim"
@@ -86,28 +87,49 @@ func All() []Experiment {
 	}
 }
 
+// Timing is one experiment's measured wall time from a RunAll pass.
+type Timing struct {
+	ID   string
+	Wall time.Duration
+}
+
 // RunAll regenerates every experiment, fanning them out over `workers`
 // goroutines (<= 0 means the parallel package default) while emitting each
 // experiment's output block to w in E1..E16 order as soon as it and all of
 // its predecessors have finished. Output bytes are identical at any worker
 // count.
-func RunAll(w io.Writer, o Options, workers int) {
+//
+// Each experiment's wall time is returned in E1..E16 order and recorded in
+// the default metrics registry (experiment_wall{id=...} timers plus an
+// experiments_completed counter), so a -metrics artifact written after the
+// run carries the per-experiment breakdown.
+func RunAll(w io.Writer, o Options, workers int) []Timing {
 	exps := All()
+	timings := make([]Timing, len(exps))
+	completed := metrics.Default().Counter("experiments_completed")
 	ready := make([]chan string, len(exps))
 	for i := range ready {
 		ready[i] = make(chan string, 1)
 	}
 	// The fan-out runs on its own goroutine so the caller's loop below can
 	// stream completed blocks in order while later experiments still run.
+	// Timing writes happen before the send on ready[i], so the loop below
+	// (and the caller, after every receive) observes them safely.
 	go parallel.ForEachN(workers, len(exps), func(i int) {
 		var b bytes.Buffer
 		fmt.Fprintf(&b, "\n──── %s ────\n", exps[i].Title)
+		start := time.Now()
 		exps[i].Run(&b, o)
+		wall := time.Since(start)
+		timings[i] = Timing{ID: exps[i].ID, Wall: wall}
+		metrics.Default().Timer("experiment_wall", "id", exps[i].ID).Observe(wall)
+		completed.Inc()
 		ready[i] <- b.String()
 	})
 	for i := range ready {
 		io.WriteString(w, <-ready[i])
 	}
+	return timings
 }
 
 func e1(w io.Writer, o Options) {

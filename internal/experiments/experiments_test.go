@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/metrics"
 )
 
 // tinyOpts keeps every experiment to a few milliseconds so the invariance
@@ -74,5 +76,31 @@ func TestAllHasSixteenUniqueIDs(t *testing.T) {
 		if !strings.HasPrefix(e.Title, e.ID) {
 			t.Fatalf("%s title %q does not lead with its ID", e.ID, e.Title)
 		}
+	}
+}
+
+// TestRunAllReturnsTimings: the observability contract of RunAll — one
+// wall-time entry per experiment, in E1..E16 order, all positive, and the
+// per-experiment timers land in the default metrics registry.
+func TestRunAllReturnsTimings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment pass")
+	}
+	var out bytes.Buffer
+	timings := RunAll(&out, tinyOpts(), 4)
+	exps := All()
+	if len(timings) != len(exps) {
+		t.Fatalf("%d timings for %d experiments", len(timings), len(exps))
+	}
+	for i, tm := range timings {
+		if tm.ID != exps[i].ID {
+			t.Fatalf("timing %d is %s, want %s", i, tm.ID, exps[i].ID)
+		}
+		if tm.Wall <= 0 {
+			t.Fatalf("%s wall time %v", tm.ID, tm.Wall)
+		}
+	}
+	if c, ok := metrics.Default().Get(metrics.Key("experiment_wall", "id", "E1") + "_count"); !ok || c < 1 {
+		t.Fatalf("experiment_wall{id=E1} timer missing from registry (count %v)", c)
 	}
 }

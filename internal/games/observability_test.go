@@ -1,0 +1,61 @@
+package games
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/xrand"
+)
+
+// TestAdvantageProbabilityNoTrials is the regression test for the 0/0 NaN:
+// a degenerate trial count must report 0, not NaN, and must not consume
+// the caller's RNG stream.
+func TestAdvantageProbabilityNoTrials(t *testing.T) {
+	for _, trials := range []int{0, -3} {
+		rng := xrand.New(1, 2)
+		before := xrand.New(1, 2).Uint64()
+		got := AdvantageProbability(5, 0.5, trials, rng)
+		if math.IsNaN(got) || got != 0 {
+			t.Fatalf("AdvantageProbability(trials=%d) = %v, want 0", trials, got)
+		}
+		if rng.Uint64() != before {
+			t.Fatalf("trials=%d consumed the caller's RNG stream", trials)
+		}
+	}
+}
+
+// TestSolveCacheCounters checks the hit/miss accounting against a scripted
+// access pattern: cold solve = miss, repeat solve = hit, for both solvers.
+func TestSolveCacheCounters(t *testing.T) {
+	reg := metrics.Default()
+	read := func(name, solver string) float64 {
+		v, _ := reg.Get(metrics.Key(name, "solver", solver))
+		return v
+	}
+
+	ResetSolveCache()
+	g := NewCHSH()
+	rng := xrand.New(3, 4)
+
+	cm0, ch0 := read("solvecache_misses", "classical"), read("solvecache_hits", "classical")
+	qm0, qh0 := read("solvecache_misses", "quantum"), read("solvecache_hits", "quantum")
+
+	g.ClassicalValue() // cold: miss
+	g.ClassicalValue() // warm: hit
+	g.QuantumValue(rng)
+	g.QuantumValue(rng)
+
+	if d := read("solvecache_misses", "classical") - cm0; d != 1 {
+		t.Fatalf("classical misses moved %v, want 1", d)
+	}
+	if d := read("solvecache_hits", "classical") - ch0; d != 1 {
+		t.Fatalf("classical hits moved %v, want 1", d)
+	}
+	if d := read("solvecache_misses", "quantum") - qm0; d != 1 {
+		t.Fatalf("quantum misses moved %v, want 1", d)
+	}
+	if d := read("solvecache_hits", "quantum") - qh0; d != 1 {
+		t.Fatalf("quantum hits moved %v, want 1", d)
+	}
+}

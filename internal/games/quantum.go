@@ -190,6 +190,12 @@ func (g *XORGame) HasQuantumAdvantage(rng *xrand.RNG) (bool, ClassicalResult, Qu
 // memoized per game and the K_n ensemble has at most 2^(n(n−1)/2) distinct
 // labelings, repeat labelings cost a map lookup instead of an SDP solve.
 func AdvantageProbability(n int, pExclusive float64, trials int, rng *xrand.RNG) float64 {
+	// No trials means no evidence either way: report 0 rather than the 0/0
+	// NaN the hits/trials ratio would produce (without consuming rng, so a
+	// caller's stream is unaffected by a degenerate call).
+	if trials <= 0 {
+		return 0
+	}
 	base := rng.Uint64()
 	adv := parallel.Map(trials, func(i int) bool {
 		trng := xrand.Derive(base, uint64(i))

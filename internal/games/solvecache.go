@@ -6,6 +6,7 @@ import (
 	"math"
 	"sync"
 
+	"repro/internal/metrics"
 	"repro/internal/xrand"
 )
 
@@ -27,6 +28,19 @@ var solveCache struct {
 	classical map[string]ClassicalResult
 	quantum   map[string]QuantumResult
 }
+
+// Cache effectiveness counters, one set per solver. "unretained" counts
+// solves that could not be cached because the entry cap was reached — the
+// closest thing this non-evicting cache has to an eviction, and the signal
+// that solveCacheMaxEntries needs revisiting if it ever moves.
+var (
+	classicalHits       = metrics.Default().Counter("solvecache_hits", "solver", "classical")
+	classicalMisses     = metrics.Default().Counter("solvecache_misses", "solver", "classical")
+	classicalUnretained = metrics.Default().Counter("solvecache_unretained", "solver", "classical")
+	quantumHits         = metrics.Default().Counter("solvecache_hits", "solver", "quantum")
+	quantumMisses       = metrics.Default().Counter("solvecache_misses", "solver", "quantum")
+	quantumUnretained   = metrics.Default().Counter("solvecache_unretained", "solver", "quantum")
+)
 
 // ResetSolveCache empties the process-wide solve cache. Benchmarks use it
 // to measure the uncached path; no other caller should need it.
@@ -71,7 +85,10 @@ func (g *XORGame) cachedClassical() ClassicalResult {
 	solveCache.mu.Lock()
 	r, ok := solveCache.classical[key]
 	solveCache.mu.Unlock()
-	if !ok {
+	if ok {
+		classicalHits.Inc()
+	} else {
+		classicalMisses.Inc()
 		r = g.classicalValueUncached()
 		solveCache.mu.Lock()
 		if solveCache.classical == nil {
@@ -79,6 +96,8 @@ func (g *XORGame) cachedClassical() ClassicalResult {
 		}
 		if len(solveCache.classical) < solveCacheMaxEntries {
 			solveCache.classical[key] = r
+		} else {
+			classicalUnretained.Inc()
 		}
 		solveCache.mu.Unlock()
 	}
@@ -93,7 +112,10 @@ func (g *XORGame) cachedQuantum() QuantumResult {
 	solveCache.mu.Lock()
 	r, ok := solveCache.quantum[key]
 	solveCache.mu.Unlock()
-	if !ok {
+	if ok {
+		quantumHits.Inc()
+	} else {
+		quantumMisses.Inc()
 		r = g.quantumValueUncached(internalSolveRNG(key))
 		solveCache.mu.Lock()
 		if solveCache.quantum == nil {
@@ -101,6 +123,8 @@ func (g *XORGame) cachedQuantum() QuantumResult {
 		}
 		if len(solveCache.quantum) < solveCacheMaxEntries {
 			solveCache.quantum[key] = r
+		} else {
+			quantumUnretained.Inc()
 		}
 		solveCache.mu.Unlock()
 	}

@@ -13,7 +13,9 @@ package loadbalance
 
 import (
 	"fmt"
+	"math"
 
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/workload"
 	"repro/internal/xrand"
@@ -246,6 +248,12 @@ type Config struct {
 	Discipline    Discipline
 	Workload      workload.Generator
 	Seed          uint64
+	// Recorder, when non-nil, observes every simulated slot (see Recorder).
+	// It is not part of the simulated system: a nil recorder skips all
+	// sample assembly, and a non-nil one cannot change results. Sweeps copy
+	// the Config across parallel points, so set a Recorder only on single
+	// runs (or supply one safe for concurrent use).
+	Recorder Recorder
 }
 
 // Validate checks the configuration.
@@ -253,8 +261,11 @@ func (c Config) Validate() error {
 	if c.NumBalancers <= 0 || c.NumServers <= 0 {
 		return fmt.Errorf("loadbalance: need positive balancer and server counts")
 	}
-	if c.Slots <= 0 || c.Warmup < 0 {
-		return fmt.Errorf("loadbalance: need positive measured slots")
+	if c.Slots <= 0 {
+		return fmt.Errorf("loadbalance: need positive measured slots (Slots = %d)", c.Slots)
+	}
+	if c.Warmup < 0 {
+		return fmt.Errorf("loadbalance: warmup slots must be non-negative (Warmup = %d)", c.Warmup)
 	}
 	if c.Workload == nil {
 		return fmt.Errorf("loadbalance: nil workload")
@@ -279,6 +290,18 @@ type Result struct {
 	// saturation, where slot-to-slot queue samples are strongly correlated.
 	QueueLenBM *stats.BatchMeans
 }
+
+// Run accounting: aggregate task flow across every simulation this process
+// executes, folded in once per run (no per-slot atomics). "queued_at_end"
+// is this infinite-queue model's drop column: work admitted but never
+// served within the simulated horizon.
+var (
+	lbRuns        = metrics.Default().Counter("loadbalance_runs_total")
+	lbSlots       = metrics.Default().Counter("loadbalance_slots_total")
+	lbArrived     = metrics.Default().Counter("loadbalance_tasks_arrived_total")
+	lbServed      = metrics.Default().Counter("loadbalance_tasks_served_total")
+	lbQueuedAtEnd = metrics.Default().Counter("loadbalance_tasks_queued_at_end_total")
+)
 
 // clusterView implements View over the servers' previous-slot queue lengths.
 type clusterView struct{ lens []int }
@@ -323,9 +346,18 @@ func RunE(cfg Config, strat Strategy) (Result, error) {
 		QueueLenBM: stats.NewBatchMeans(200),
 	}
 
+	tracker, tracksColoc := strat.(ColocationTracker)
+
 	total := cfg.Warmup + cfg.Slots
 	for slot := 0; slot < total; slot++ {
 		measured := slot >= cfg.Warmup
+		// Colocation statistics honor the measured window like every other
+		// metric: whatever the strategy accumulated during warmup is
+		// discarded at the boundary, so Result.Colocation describes exactly
+		// the slots QueueLen and Delay describe (see EXPERIMENTS.md).
+		if tracksColoc && cfg.Warmup > 0 && slot == cfg.Warmup {
+			*tracker.ColocationStats() = stats.Proportion{}
+		}
 
 		// 1. Arrivals.
 		for i := range tasks {
@@ -350,6 +382,8 @@ func RunE(cfg Config, strat Strategy) (Result, error) {
 		}
 
 		// 3. Service.
+		slotServed := 0
+		slotDelay := 0.0
 		for s := range servers {
 			scratch = servers[s].serve(cfg.Discipline, scratch[:0])
 			for _, done := range scratch {
@@ -357,15 +391,23 @@ func RunE(cfg Config, strat Strategy) (Result, error) {
 					res.Served++
 					res.Delay.Add(float64(slot - done.arrivalSlot))
 				}
+				if cfg.Recorder != nil {
+					slotServed++
+					slotDelay += float64(slot - done.arrivalSlot)
+				}
 			}
 		}
 
 		// 4. Measurement + refresh the stale view.
 		slotTotal := 0
+		slotMax := 0
 		for s := range servers {
 			l := servers[s].Len()
 			view.lens[s] = l
 			slotTotal += l
+			if l > slotMax {
+				slotMax = l
+			}
 			if measured {
 				res.QueueLen.Add(float64(l))
 			}
@@ -373,13 +415,34 @@ func RunE(cfg Config, strat Strategy) (Result, error) {
 		if measured {
 			res.QueueLenBM.Add(float64(slotTotal) / float64(cfg.NumServers))
 		}
+		if cfg.Recorder != nil {
+			coloc := math.NaN()
+			if tracksColoc {
+				coloc = tracker.ColocationStats().Rate()
+			}
+			cfg.Recorder.RecordSlot(SlotSample{
+				Slot:           slot,
+				Measured:       measured,
+				QueueTotal:     slotTotal,
+				QueueMax:       slotMax,
+				Arrived:        len(got),
+				Served:         slotServed,
+				DelaySum:       slotDelay,
+				ColocationRate: coloc,
+			})
+		}
 	}
 
 	for s := range servers {
 		res.QueuedAtEnd += int64(servers[s].Len())
 	}
-	if ct, ok := strat.(ColocationTracker); ok {
-		res.Colocation = *ct.ColocationStats()
+	if tracksColoc {
+		res.Colocation = *tracker.ColocationStats()
 	}
+	lbRuns.Inc()
+	lbSlots.Add(int64(total))
+	lbArrived.Add(res.Arrived)
+	lbServed.Add(res.Served)
+	lbQueuedAtEnd.Add(res.QueuedAtEnd)
 	return res, nil
 }

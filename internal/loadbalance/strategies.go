@@ -37,11 +37,13 @@ func (*RoundRobinStrategy) Name() string { return "round-robin" }
 // Assign implements Strategy.
 func (r *RoundRobinStrategy) Assign(dst []int, tasks []workload.Task, view View, rng *xrand.RNG) []int {
 	m := view.NumServers()
-	if r.next == nil {
-		r.next = make([]int, len(tasks))
-		for i := range r.next {
-			r.next[i] = rng.IntN(m)
-		}
+	// Grow the per-balancer counters lazily: a strategy value reused across
+	// sweep points may see the balancer count rise between calls, and new
+	// balancers start from a fresh random offset exactly like the first
+	// call's. (The first call appends offsets in balancer order, drawing the
+	// same RNG sequence the old make-once path drew.)
+	for len(r.next) < len(tasks) {
+		r.next = append(r.next, rng.IntN(m))
 	}
 	out := dst
 	for i := range out {
@@ -188,6 +190,16 @@ func (d DedicatedStrategy) Name() string { return fmt.Sprintf("dedicated(%.2f)",
 // Assign implements Strategy.
 func (d DedicatedStrategy) Assign(dst []int, tasks []workload.Task, view View, rng *xrand.RNG) []int {
 	m := view.NumServers()
+	out := dst
+	// A single server cannot be partitioned: both task types share it.
+	// (Without this guard the clamps below would leave zero servers in one
+	// partition and panic in rng.IntN(0).)
+	if m < 2 {
+		for i := range out {
+			out[i] = 0
+		}
+		return out
+	}
 	nC := int(d.FractionC * float64(m))
 	if nC < 1 {
 		nC = 1
@@ -195,7 +207,6 @@ func (d DedicatedStrategy) Assign(dst []int, tasks []workload.Task, view View, r
 	if nC >= m {
 		nC = m - 1
 	}
-	out := dst
 	for i, t := range tasks {
 		if t.Type == workload.TypeC {
 			out[i] = rng.IntN(nC)

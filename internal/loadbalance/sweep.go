@@ -31,15 +31,16 @@ func sweepPoints(base Config, factory StrategyFactory, loads []float64) []Result
 	})
 }
 
-// SweepLoad regenerates a Figure 4 series: it holds NumBalancers fixed and
-// varies the server count so the load ratio N/M traverses `loads`, running
-// one simulation per point (points fan out over the worker pool) and
-// recording mean queue length with its 95% CI.
-func SweepLoad(base Config, factory StrategyFactory, loads []float64) stats.Series {
-	var series stats.Series
+// SweepBoth regenerates both Figure 4 series — mean queue length and mean
+// queueing delay — from a single sweep: one simulation per load point,
+// fanned out over the worker pool. Callers needing only one series use the
+// SweepLoad/SweepDelay wrappers; callers exporting both (cmd/qlbsim
+// -series) avoid simulating every point twice.
+func SweepBoth(base Config, factory StrategyFactory, loads []float64) (qlen, delay stats.Series) {
 	for _, r := range sweepPoints(base, factory, loads) {
-		if series.Name == "" {
-			series.Name = r.Strategy
+		if qlen.Name == "" {
+			qlen.Name = r.Strategy
+			delay.Name = r.Strategy
 		}
 		// Report the autocorrelation-aware CI (batch means): queue samples
 		// are strongly correlated slot-to-slot near saturation, so the
@@ -48,22 +49,25 @@ func SweepLoad(base Config, factory StrategyFactory, loads []float64) stats.Seri
 		if math.IsInf(ci, 1) {
 			ci = r.QueueLen.CI95()
 		}
-		series.Append(r.Load, r.QueueLen.Mean(), ci)
+		qlen.Append(r.Load, r.QueueLen.Mean(), ci)
+		delay.Append(r.Load, r.Delay.Mean(), r.Delay.CI95())
 	}
-	return series
+	return qlen, delay
+}
+
+// SweepLoad regenerates a Figure 4 series: it holds NumBalancers fixed and
+// varies the server count so the load ratio N/M traverses `loads`, running
+// one simulation per point and recording mean queue length with its 95% CI.
+func SweepLoad(base Config, factory StrategyFactory, loads []float64) stats.Series {
+	qlen, _ := SweepBoth(base, factory, loads)
+	return qlen
 }
 
 // SweepDelay is SweepLoad but records mean queueing delay (Figure 4's
 // caption metric) instead of queue length.
 func SweepDelay(base Config, factory StrategyFactory, loads []float64) stats.Series {
-	var series stats.Series
-	for _, r := range sweepPoints(base, factory, loads) {
-		if series.Name == "" {
-			series.Name = r.Strategy
-		}
-		series.Append(r.Load, r.Delay.Mean(), r.Delay.CI95())
-	}
-	return series
+	_, delay := SweepBoth(base, factory, loads)
+	return delay
 }
 
 // serversForLoad returns M so that N/M ≈ load, clamped to at least 2 (the

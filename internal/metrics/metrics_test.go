@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeTimerBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter %d, want 5", c.Value())
+	}
+	g := r.Gauge("util")
+	g.Set(0.75)
+	if g.Value() != 0.75 {
+		t.Fatalf("gauge %v, want 0.75", g.Value())
+	}
+	tm := r.Timer("solve")
+	tm.Observe(2 * time.Millisecond)
+	tm.Observe(4 * time.Millisecond)
+	if tm.Count() != 2 || tm.Total() != 6*time.Millisecond {
+		t.Fatalf("timer count=%d total=%v", tm.Count(), tm.Total())
+	}
+	if tm.Mean() != 3*time.Millisecond || tm.Max() != 4*time.Millisecond {
+		t.Fatalf("timer mean=%v max=%v", tm.Mean(), tm.Max())
+	}
+}
+
+func TestRegistryReturnsSameInstrument(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a", "k", "v") != r.Counter("a", "k", "v") {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	if r.Counter("a") == r.Counter("a", "k", "v") {
+		t.Fatal("labels must distinguish instruments")
+	}
+}
+
+func TestKeyRendering(t *testing.T) {
+	if got := Key("hits"); got != "hits" {
+		t.Fatalf("Key = %q", got)
+	}
+	if got := Key("hits", "solver", "classical", "tier", "1"); got != "hits{solver=classical,tier=1}" {
+		t.Fatalf("Key = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd label list must panic")
+		}
+	}()
+	Key("hits", "solver")
+}
+
+func TestSnapshotOrderedAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_last").Add(1)
+	r.Counter("a_first").Add(2)
+	r.Gauge("m_gauge").Set(3)
+	r.Timer("t_timer").Observe(time.Microsecond)
+	snap := r.Snapshot()
+	if len(snap) != 7 { // 2 counters + 1 gauge + 4 timer entries
+		t.Fatalf("snapshot has %d entries: %v", len(snap), snap)
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Key >= snap[i].Key {
+			t.Fatalf("snapshot not sorted: %q before %q", snap[i-1].Key, snap[i].Key)
+		}
+	}
+	if v, ok := r.Get("a_first"); !ok || v != 2 {
+		t.Fatalf("Get(a_first) = %v, %v", v, ok)
+	}
+	if v, ok := r.Get("t_timer_count"); !ok || v != 1 {
+		t.Fatalf("Get(t_timer_count) = %v, %v", v, ok)
+	}
+}
+
+func TestResetKeepsInstrumentPointersValid(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events")
+	c.Add(10)
+	r.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("counter survived reset with %d", c.Value())
+	}
+	c.Inc() // the old pointer must still feed the registry
+	if v, _ := r.Get("events"); v != 1 {
+		t.Fatalf("post-reset increments lost: %v", v)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot")
+	tm := r.Timer("laps")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				tm.Observe(time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || tm.Count() != 8000 {
+		t.Fatalf("lost updates: counter %d timer %d", c.Value(), tm.Count())
+	}
+}
+
+func TestArtifactRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("solvecache_hits", "solver", "quantum").Add(7)
+	a := NewArtifact("test-tool")
+	a.Seed = 42
+	a.Config = map[string]any{"scale": 1.0}
+	a.Experiments = []ExperimentMetrics{{ID: "E1", WallMS: 1.5}}
+	a.Metrics = r.Snapshot()
+	a.Series = []TimeSeries{{Name: "queue", X: []float64{0, 1}, Y: []float64{0, 2}}}
+
+	var buf bytes.Buffer
+	if err := a.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Artifact
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if back.Tool != "test-tool" || back.Seed != 42 {
+		t.Fatalf("provenance lost: %+v", back)
+	}
+	if len(back.Metrics) != 1 || back.Metrics[0].Key != "solvecache_hits{solver=quantum}" || back.Metrics[0].Value != 7 {
+		t.Fatalf("metrics lost: %+v", back.Metrics)
+	}
+	if len(back.Series) != 1 || back.Series[0].Y[1] != 2 {
+		t.Fatalf("series lost: %+v", back.Series)
+	}
+	if back.GoVersion == "" || back.GitDescribe == "" {
+		t.Fatalf("missing build provenance: %+v", back)
+	}
+}
