@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify race lint bench bench-report repro clean
+.PHONY: build test verify race lint bench bench-report bench-solvers bench-solvers-baseline repro clean
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,20 @@ bench:
 # parallel, plus hot-path allocs/op).
 bench-report:
 	$(GO) run ./cmd/bench
+
+# Regenerate BENCH_solvers.json: the flat solver kernels (Gray-code
+# classical, contiguous-buffer quantum ascent) against the retained
+# reference implementations, plus the batched pipeline and cache-hit
+# numbers. CI uploads this as an artifact.
+bench-solvers:
+	$(GO) run ./cmd/bench -solvers -out BENCH_solvers.json
+
+# Refresh the committed benchstat baseline that CI compares against
+# (informational, non-blocking). Run on a quiet machine.
+bench-solvers-baseline:
+	$(GO) test ./internal/games/ -run '^$$' \
+		-bench 'BenchmarkClassicalValueKernel|BenchmarkQuantumAscentKernel|BenchmarkSolveBatch' \
+		-benchmem -count 6 | tee .github/bench-solvers-baseline.txt
 
 repro:
 	$(GO) run ./cmd/repro

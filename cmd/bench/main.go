@@ -87,10 +87,20 @@ func main() {
 	seed := flag.Uint64("seed", 42, "master seed")
 	scale := flag.Float64("scale", 1.0, "experiment scale factor")
 	workers := flag.Int("workers", 0, "pool width for the parallel pass (0 = GOMAXPROCS)")
+	solvers := flag.Bool("solvers", false, "benchmark the solver kernels only (flat vs reference) and write a solver report instead of the parallel one")
 	metricsPath := flag.String("metrics", "", "write a JSON metrics artifact for the whole bench run (- for stdout)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this path")
 	flag.Parse()
+
+	if *solvers {
+		path := *out
+		if path == "BENCH_parallel.json" { // flag left at default
+			path = "BENCH_solvers.json"
+		}
+		runSolverBench(path)
+		return
+	}
 
 	benchStart := time.Now()
 	if *cpuprofile != "" {

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/games"
+	"repro/internal/xrand"
+)
+
+// Solver kernel report (`bench -solvers`, BENCH_solvers.json): the flat
+// solver engine measured against the retained reference implementations on
+// the workloads the repo actually runs. Every optimized/reference pair
+// computes bit-identical results (enforced by the differential tests in
+// internal/games), so the speedups are pure engine wins, not accuracy
+// trades.
+
+type kernelPair struct {
+	// Workload names the game family; Kernel the solver being compared.
+	Workload  string     `json:"workload"`
+	Kernel    string     `json:"kernel"`
+	Optimized microBench `json:"optimized"`
+	Reference microBench `json:"reference"`
+	Speedup   float64    `json:"speedup"`
+}
+
+type solversReport struct {
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Kernels    []kernelPair `json:"kernels"`
+	// Pipeline carries the absolute numbers with no reference counterpart:
+	// the batched solve path and a warm cache hit.
+	Pipeline []microBench `json:"pipeline"`
+}
+
+func measure(name string, fn func(b *testing.B)) microBench {
+	r := testing.Benchmark(fn)
+	return microBench{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+func pair(workload, kernel string, optimized, reference func(b *testing.B)) kernelPair {
+	p := kernelPair{
+		Workload:  workload,
+		Kernel:    kernel,
+		Optimized: measure(workload+"/"+kernel+"/optimized", optimized),
+		Reference: measure(workload+"/"+kernel+"/reference", reference),
+	}
+	if p.Optimized.NsPerOp > 0 {
+		p.Speedup = p.Reference.NsPerOp / p.Optimized.NsPerOp
+	}
+	return p
+}
+
+func runSolverBench(out string) {
+	k10 := games.RandomGraphXORGame(10, 0.5, xrand.New(907, 1))
+	chsh := games.NewCHSH()
+	k5 := games.RandomGraphXORGame(5, 0.5, xrand.New(908, 1))
+
+	rep := solversReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	rep.Kernels = append(rep.Kernels,
+		// Classical: Gray-code incremental enumeration vs per-mask fresh
+		// column sums, on K10 (1024 masks × 10 columns).
+		pair("k10", "classical", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				k10.ClassicalValueUncached()
+			}
+		}, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				k10.ClassicalValueReference()
+			}
+		}),
+		// Quantum: flat contiguous-buffer ascent vs jagged slices, on CHSH
+		// (d=4, overhead-bound) and the K5 Figure 3 game (d=10, flop-bound).
+		pair("chsh", "quantum", func(b *testing.B) {
+			b.ReportAllocs()
+			rng := xrand.New(909, 1)
+			for i := 0; i < b.N; i++ {
+				chsh.QuantumValueUncached(rng)
+			}
+		}, func(b *testing.B) {
+			b.ReportAllocs()
+			rng := xrand.New(909, 1)
+			for i := 0; i < b.N; i++ {
+				chsh.QuantumValueReference(rng)
+			}
+		}),
+		pair("k5", "quantum", func(b *testing.B) {
+			b.ReportAllocs()
+			rng := xrand.New(909, 1)
+			for i := 0; i < b.N; i++ {
+				k5.QuantumValueUncached(rng)
+			}
+		}, func(b *testing.B) {
+			b.ReportAllocs()
+			rng := xrand.New(909, 1)
+			for i := 0; i < b.N; i++ {
+				k5.QuantumValueReference(rng)
+			}
+		}),
+	)
+
+	ensemble := make([]*games.XORGame, 64)
+	rng := xrand.New(910, 1)
+	for i := range ensemble {
+		ensemble[i] = games.RandomGraphXORGame(6, 0.5, rng)
+	}
+	rep.Pipeline = append(rep.Pipeline,
+		measure("solve_batch_64_k6_cold", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				games.ResetSolveCache()
+				games.SolveBatch(ensemble, 0)
+			}
+		}),
+		measure("solve_batch_64_k6_warm", func(b *testing.B) {
+			b.ReportAllocs()
+			games.SolveBatch(ensemble, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				games.SolveBatch(ensemble, 0)
+			}
+		}),
+		measure("quantum_value_cached_hit", func(b *testing.B) {
+			b.ReportAllocs()
+			r := xrand.New(18, 2)
+			chsh.QuantumValue(r)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				chsh.QuantumValue(r)
+			}
+		}),
+	)
+
+	for _, p := range rep.Kernels {
+		fmt.Fprintf(os.Stderr, "%-5s %-10s optimized %10.0f ns/op (%d allocs)  reference %10.0f ns/op (%d allocs)  %.2fx\n",
+			p.Workload, p.Kernel, p.Optimized.NsPerOp, p.Optimized.AllocsPerOp,
+			p.Reference.NsPerOp, p.Reference.AllocsPerOp, p.Speedup)
+	}
+	for _, m := range rep.Pipeline {
+		fmt.Fprintf(os.Stderr, "%-26s %12.0f ns/op %10d B/op %6d allocs/op\n",
+			m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", out)
+}

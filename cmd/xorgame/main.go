@@ -41,12 +41,18 @@ func main() {
 	for p := 0.0; p <= 1.0+1e-9; p += *step {
 		var adv stats.Proportion
 		var cVal, qVal stats.Welford
-		for t := 0; t < *trials; t++ {
-			g := games.RandomGraphXORGame(*n, p, rng)
-			has, c, q := g.HasQuantumAdvantage(rng)
-			adv.Add(has)
-			cVal.Add(c.Value)
-			qVal.Add(q.Value)
+		// Draw the whole ensemble serially (keeping the rng stream identical
+		// to per-trial solving), then solve through the batch pipeline; the
+		// solves are pure functions of the games, so results land in trial
+		// order regardless of worker count.
+		gs := make([]*games.XORGame, *trials)
+		for t := range gs {
+			gs[t] = games.RandomGraphXORGame(*n, p, rng)
+		}
+		for _, r := range games.SolveBatch(gs, 0) {
+			adv.Add(r.HasAdvantage())
+			cVal.Add(r.Classical.Value)
+			qVal.Add(r.Quantum.Value)
 		}
 		lo, hi := adv.Wilson95()
 		if *gaps {
@@ -68,10 +74,12 @@ func runVertexSweep(trials int, rng *xrand.RNG) {
 	fmt.Println("vertices   P(advantage)   [95% CI]")
 	for n := 3; n <= 7; n++ {
 		var adv stats.Proportion
-		for t := 0; t < trials; t++ {
-			g := games.RandomGraphXORGame(n, 0.5, rng)
-			has, _, _ := g.HasQuantumAdvantage(rng)
-			adv.Add(has)
+		gs := make([]*games.XORGame, trials)
+		for t := range gs {
+			gs[t] = games.RandomGraphXORGame(n, 0.5, rng)
+		}
+		for _, r := range games.SolveBatch(gs, 0) {
+			adv.Add(r.HasAdvantage())
 		}
 		lo, hi := adv.Wilson95()
 		fmt.Printf("%d          %.3f          [%.3f, %.3f]\n", n, adv.Rate(), lo, hi)

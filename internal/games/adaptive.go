@@ -48,9 +48,18 @@ func (g *GeneralGame) seeSawOnceOnState(rho *qsim.Density, rng *xrand.RNG) SeeSa
 		bob[y] = randomProjector(rng)
 	}
 
+	// Shared scratch for the whole see-saw: effect buffers, the 4×4
+	// Kronecker product, the conditional operator, and the score
+	// accumulator are reused across iterations.
+	effA := linalg.NewMat(2, 2)
+	effB := linalg.NewMat(2, 2)
+	full := linalg.NewMat(4, 4)
+	cond := linalg.NewMat(2, 2)
+	diff := linalg.NewMat(2, 2)
+
 	prob := func(aProj, bProj *linalg.Mat, a, b int) float64 {
-		full := bobEffect(aProj, a).Kron(bobEffect(bProj, b))
-		return real(rho.Rho.Mul(full).Trace())
+		linalg.KronInto(full, bobEffectInto(effA, aProj, a), bobEffectInto(effB, bProj, b))
+		return real(linalg.TraceMul(rho.Rho, full))
 	}
 	value := func() float64 {
 		var v float64
@@ -74,36 +83,38 @@ func (g *GeneralGame) seeSawOnceOnState(rho *qsim.Density, rng *xrand.RNG) SeeSa
 	prev := -1.0
 	for iter := 0; iter < 500; iter++ {
 		for x := 0; x < g.NA; x++ {
-			diff := linalg.NewMat(2, 2)
+			diff.Zero()
 			for y := 0; y < g.NB; y++ {
 				if g.Prob[x][y] == 0 {
 					continue
 				}
 				for b := 0; b < 2; b++ {
-					t := conditionalOnAlice(rho, bobEffect(bob[y], b)).Scale(complex(g.Prob[x][y], 0))
+					conditionalOnAliceInto(cond, rho, bobEffectInto(effB, bob[y], b))
+					c := complex(g.Prob[x][y], 0)
 					if g.Win(x, y, 0, b) {
-						diff = diff.Add(t)
+						diff.AddScaledInPlace(c, cond)
 					}
 					if g.Win(x, y, 1, b) {
-						diff = diff.Sub(t)
+						diff.SubScaledInPlace(c, cond)
 					}
 				}
 			}
 			alice[x] = positiveEigenprojector(diff)
 		}
 		for y := 0; y < g.NB; y++ {
-			diff := linalg.NewMat(2, 2)
+			diff.Zero()
 			for x := 0; x < g.NA; x++ {
 				if g.Prob[x][y] == 0 {
 					continue
 				}
 				for a := 0; a < 2; a++ {
-					t := conditionalOnBob(rho, bobEffect(alice[x], a)).Scale(complex(g.Prob[x][y], 0))
+					conditionalOnBobInto(cond, rho, bobEffectInto(effA, alice[x], a))
+					c := complex(g.Prob[x][y], 0)
 					if g.Win(x, y, a, 0) {
-						diff = diff.Add(t)
+						diff.AddScaledInPlace(c, cond)
 					}
 					if g.Win(x, y, a, 1) {
-						diff = diff.Sub(t)
+						diff.SubScaledInPlace(c, cond)
 					}
 				}
 			}
@@ -118,11 +129,10 @@ func (g *GeneralGame) seeSawOnceOnState(rho *qsim.Density, rng *xrand.RNG) SeeSa
 	return SeeSawResult{Value: value(), AliceProj: alice, BobProj: bob}
 }
 
-// conditionalOnAlice returns T(B) = Tr_B[(I ⊗ B) ρ], the Alice-side
-// operator such that Tr[(A ⊗ B) ρ] = Tr[A·T(B)]:
+// conditionalOnAliceInto writes T(B) = Tr_B[(I ⊗ B) ρ] into t — the
+// Alice-side operator such that Tr[(A ⊗ B) ρ] = Tr[A·T(B)]:
 // T_{ij} = Σ_{k,m} B_{km} ρ_{(i,m),(j,k)}.
-func conditionalOnAlice(rho *qsim.Density, b *linalg.Mat) *linalg.Mat {
-	t := linalg.NewMat(2, 2)
+func conditionalOnAliceInto(t *linalg.Mat, rho *qsim.Density, b *linalg.Mat) *linalg.Mat {
 	for i := 0; i < 2; i++ {
 		for j := 0; j < 2; j++ {
 			var s complex128
@@ -137,10 +147,9 @@ func conditionalOnAlice(rho *qsim.Density, b *linalg.Mat) *linalg.Mat {
 	return t
 }
 
-// conditionalOnBob returns T(A) = Tr_A[(A ⊗ I) ρ], the Bob-side operator
-// such that Tr[(A ⊗ B) ρ] = Tr[B·T(A)].
-func conditionalOnBob(rho *qsim.Density, a *linalg.Mat) *linalg.Mat {
-	t := linalg.NewMat(2, 2)
+// conditionalOnBobInto writes T(A) = Tr_A[(A ⊗ I) ρ] into t, the Bob-side
+// operator such that Tr[(A ⊗ B) ρ] = Tr[B·T(A)].
+func conditionalOnBobInto(t *linalg.Mat, rho *qsim.Density, a *linalg.Mat) *linalg.Mat {
 	for k := 0; k < 2; k++ {
 		for l := 0; l < 2; l++ {
 			var s complex128

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/linalg"
 	"repro/internal/qsim"
 	"repro/internal/xrand"
 )
@@ -76,8 +77,8 @@ func TestConditionalOperatorsConsistent(t *testing.T) {
 		a := randomProjector(rng)
 		b := randomProjector(rng)
 		direct := real(rho.Rho.Mul(a.Kron(b)).Trace())
-		viaAlice := real(a.Mul(conditionalOnAlice(rho, b)).Trace())
-		viaBob := real(b.Mul(conditionalOnBob(rho, a)).Trace())
+		viaAlice := real(a.Mul(conditionalOnAliceInto(linalg.NewMat(2, 2), rho, b)).Trace())
+		viaBob := real(b.Mul(conditionalOnBobInto(linalg.NewMat(2, 2), rho, a)).Trace())
 		if math.Abs(direct-viaAlice) > 1e-10 || math.Abs(direct-viaBob) > 1e-10 {
 			t.Fatalf("trial %d: direct %v, viaAlice %v, viaBob %v",
 				trial, direct, viaAlice, viaBob)

@@ -1,0 +1,91 @@
+package games
+
+// clockCache is a bounded string-keyed cache with CLOCK (second-chance)
+// eviction: every entry carries a reference bit set on access, and when the
+// cache is full a clock hand sweeps the slots, clearing bits as it passes
+// and evicting the first entry it finds unreferenced. This approximates LRU
+// at O(1) amortized cost without a linked list: hot entries (CHSH, the
+// dense core of a Figure 3 ensemble) keep getting their bit re-set and
+// survive sweeps, while one-off games recycle the same slots.
+//
+// The type is NOT safe for concurrent use; the solve cache serializes
+// access under its own mutex.
+type clockCache[V any] struct {
+	capacity int
+	idx      map[string]int
+	keys     []string
+	vals     []V
+	ref      []bool
+	hand     int
+}
+
+func newClockCache[V any](capacity int) *clockCache[V] {
+	if capacity <= 0 {
+		panic("games: clockCache capacity must be positive")
+	}
+	return &clockCache[V]{capacity: capacity, idx: make(map[string]int)}
+}
+
+func (c *clockCache[V]) len() int { return len(c.keys) }
+
+// get returns the cached value for key and marks the entry recently used.
+func (c *clockCache[V]) get(key string) (V, bool) {
+	if i, ok := c.idx[key]; ok {
+		c.ref[i] = true
+		return c.vals[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+// put inserts key → v, overwriting any existing entry in place. When the
+// cache is at capacity it evicts one entry chosen by the clock sweep and
+// reports that an eviction happened.
+func (c *clockCache[V]) put(key string, v V) (evicted bool) {
+	if i, ok := c.idx[key]; ok {
+		c.vals[i] = v
+		c.ref[i] = true
+		return false
+	}
+	if len(c.keys) < c.capacity {
+		c.idx[key] = len(c.keys)
+		c.keys = append(c.keys, key)
+		c.vals = append(c.vals, v)
+		c.ref = append(c.ref, true)
+		return false
+	}
+	// Sweep: clear reference bits until an unreferenced slot turns up. The
+	// sweep terminates within one full revolution plus one slot, because it
+	// clears every bit it passes.
+	for {
+		if c.hand >= len(c.keys) {
+			c.hand = 0
+		}
+		if !c.ref[c.hand] {
+			break
+		}
+		c.ref[c.hand] = false
+		c.hand++
+	}
+	i := c.hand
+	delete(c.idx, c.keys[i])
+	c.idx[key] = i
+	c.keys[i] = key
+	c.vals[i] = v
+	c.ref[i] = true
+	c.hand++
+	return true
+}
+
+// reset empties the cache, keeping the backing arrays for reuse.
+func (c *clockCache[V]) reset() {
+	clear(c.idx)
+	c.keys = c.keys[:0]
+	var zero V
+	for i := range c.vals {
+		c.vals[i] = zero // drop references so evicted results can be collected
+	}
+	c.vals = c.vals[:0]
+	c.ref = c.ref[:0]
+	c.hand = 0
+}

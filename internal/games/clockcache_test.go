@@ -1,0 +1,156 @@
+package games
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestClockCacheBasicGetPut(t *testing.T) {
+	c := newClockCache[int](4)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	if c.put("a", 1) {
+		t.Fatal("insert below capacity reported an eviction")
+	}
+	if v, ok := c.get("a"); !ok || v != 1 {
+		t.Fatalf("get(a) = %v, %v; want 1, true", v, ok)
+	}
+	if c.put("a", 2) {
+		t.Fatal("overwrite reported an eviction")
+	}
+	if v, _ := c.get("a"); v != 2 {
+		t.Fatalf("overwrite lost: get(a) = %v, want 2", v)
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+}
+
+func TestClockCacheEvictsAtCapacity(t *testing.T) {
+	c := newClockCache[int](3)
+	for i, k := range []string{"a", "b", "c"} {
+		if c.put(k, i) {
+			t.Fatalf("put(%s) below capacity evicted", k)
+		}
+	}
+	if !c.put("d", 3) {
+		t.Fatal("put at capacity did not evict")
+	}
+	if c.len() != 3 {
+		t.Fatalf("len after eviction = %d, want 3", c.len())
+	}
+	// All three original entries were referenced (fresh inserts), so the
+	// first sweep cleared every bit and recycled slot 0: "a" is gone, the
+	// rest plus the newcomer are resident.
+	if _, ok := c.get("a"); ok {
+		t.Fatal("evicted entry still resident")
+	}
+	for _, k := range []string{"b", "c", "d"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("entry %q lost without being evicted", k)
+		}
+	}
+}
+
+// TestClockCacheSecondChance is the CLOCK property: an entry touched after
+// the last sweep survives the next one, pushing eviction onto a colder
+// neighbor.
+func TestClockCacheSecondChance(t *testing.T) {
+	c := newClockCache[int](3)
+	c.put("a", 0)
+	c.put("b", 1)
+	c.put("c", 2)
+	c.put("d", 3) // sweep clears all bits, evicts "a"
+	c.get("b")    // re-reference "b"
+	c.put("e", 4) // hand at slot 1: "b" gets its second chance, "c" goes
+	if _, ok := c.get("c"); ok {
+		t.Fatal("cold entry \"c\" survived the sweep")
+	}
+	for _, k := range []string{"b", "d", "e"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("hot entry %q was evicted", k)
+		}
+	}
+}
+
+func TestClockCacheChurnKeepsHotEntry(t *testing.T) {
+	// Under sustained churn of one-shot keys, a continuously re-referenced
+	// entry must never fall out — the failure mode of the old
+	// stop-caching-at-cap design was the mirror image (nothing new could
+	// ever get in). One caveat of CLOCK: when every bit is set the sweep
+	// wraps and evicts the slot it started at, whatever lives there — so
+	// the hot entry goes in slot 1, behind a sacrificial cold slot 0.
+	c := newClockCache[string](8)
+	c.put("cold0", "sacrifice")
+	c.put("hot", "x")
+	for i := 0; i < 100; i++ {
+		if _, ok := c.get("hot"); !ok {
+			t.Fatalf("hot entry evicted after %d churn inserts", i)
+		}
+		c.put(string(rune('A'+i%26))+string(rune('0'+i/26)), "cold")
+	}
+	if v, ok := c.get("hot"); !ok || v != "x" {
+		t.Fatalf("hot entry after churn = %q, %v; want \"x\", true", v, ok)
+	}
+	if c.len() != 8 {
+		t.Fatalf("len = %d, want capacity 8", c.len())
+	}
+}
+
+func TestClockCacheReset(t *testing.T) {
+	c := newClockCache[int](2)
+	c.put("a", 1)
+	c.put("b", 2)
+	c.put("c", 3) // force a sweep so the hand moves
+	c.reset()
+	if c.len() != 0 {
+		t.Fatalf("len after reset = %d, want 0", c.len())
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("reset cache still serves entries")
+	}
+	// Reuse after reset behaves like a fresh cache.
+	if c.put("z", 9) {
+		t.Fatal("first insert after reset evicted")
+	}
+	if v, ok := c.get("z"); !ok || v != 9 {
+		t.Fatalf("get(z) = %v, %v; want 9, true", v, ok)
+	}
+}
+
+// TestSolveCacheEvictionCounter drives the REAL solve cache past a small
+// clock cache's capacity to confirm the eviction path feeds the
+// solvecache_unretained counter and that evicted games simply re-solve
+// (correctly) on their next appearance.
+func TestSolveCacheEvictionCounter(t *testing.T) {
+	ResetSolveCache()
+	// Swap in a tiny cache; restore the full-size one afterwards.
+	solveCache.mu.Lock()
+	solveCache.classical = newClockCache[ClassicalResult](2)
+	solveCache.mu.Unlock()
+	defer ResetSolveCache()
+
+	games := []*XORGame{
+		NewCHSH(),
+		NewColocationCHSH(),
+		RandomGraphXORGame(4, 0.5, xrand.New(912, 1)),
+	}
+	before := classicalUnretained.Value()
+	want := make([]ClassicalResult, len(games))
+	for i, g := range games {
+		want[i] = g.ClassicalValue()
+	}
+	if got := classicalUnretained.Value(); got != before+1 {
+		t.Fatalf("evictions after 3 distinct solves into cap-2 cache: %d, want %d", got-before, 1)
+	}
+	// Every game still solves to the same answer whether served from cache
+	// or re-solved after eviction.
+	for i, g := range games {
+		again := g.ClassicalValue()
+		if again.Bias != want[i].Bias || again.Value != want[i].Value {
+			t.Fatalf("game %d re-solve after eviction: bias %v, want %v", i, again.Bias, want[i].Bias)
+		}
+	}
+}

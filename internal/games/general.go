@@ -148,6 +148,13 @@ func (g *GeneralGame) seeSawOnce(rng *xrand.RNG) SeeSawResult {
 		bob[y] = randomProjector(rng)
 	}
 
+	// Shared scratch for the whole see-saw: the score accumulator and the
+	// effect buffers are reused across iterations, so the inner loops only
+	// allocate for the eigenprojectors they return.
+	diff := linalg.NewMat(2, 2)
+	effA := linalg.NewMat(2, 2)
+	effB := linalg.NewMat(2, 2)
+
 	value := func() float64 {
 		var v float64
 		for x := 0; x < g.NA; x++ {
@@ -158,7 +165,7 @@ func (g *GeneralGame) seeSawOnce(rng *xrand.RNG) SeeSawResult {
 				for a := 0; a < 2; a++ {
 					for b := 0; b < 2; b++ {
 						if g.Win(x, y, a, b) {
-							v += g.Prob[x][y] * bellProb(alice[x], bob[y], a, b)
+							v += g.Prob[x][y] * bellProbInto(effA, effB, alice[x], bob[y], a, b)
 						}
 					}
 				}
@@ -173,19 +180,19 @@ func (g *GeneralGame) seeSawOnce(rng *xrand.RNG) SeeSawResult {
 		// projectors A_x, where R_x^a = Σ_{y,b: win} π(x,y)·T(B_y^b) and
 		// T(B) = Bᵀ/2 is the Alice-side operator of Bob's effect.
 		for x := 0; x < g.NA; x++ {
-			diff := linalg.NewMat(2, 2)
+			diff.Zero()
 			for y := 0; y < g.NB; y++ {
 				if g.Prob[x][y] == 0 {
 					continue
 				}
 				for b := 0; b < 2; b++ {
-					eff := bobEffect(bob[y], b)
-					t := eff.Transpose().Scale(complex(g.Prob[x][y]/2, 0))
+					eff := bobEffectInto(effB, bob[y], b)
+					c := complex(g.Prob[x][y]/2, 0)
 					if g.Win(x, y, 0, b) {
-						diff = diff.Add(t)
+						diff.AddScaledTransposeInPlace(c, eff)
 					}
 					if g.Win(x, y, 1, b) {
-						diff = diff.Sub(t)
+						diff.SubScaledTransposeInPlace(c, eff)
 					}
 				}
 			}
@@ -194,19 +201,19 @@ func (g *GeneralGame) seeSawOnce(rng *xrand.RNG) SeeSawResult {
 		// Bob best response, symmetrically: for A acting on Alice's side,
 		// Tr_A[(A ⊗ I)|Φ+⟩⟨Φ+|] = Aᵀ/2.
 		for y := 0; y < g.NB; y++ {
-			diff := linalg.NewMat(2, 2)
+			diff.Zero()
 			for x := 0; x < g.NA; x++ {
 				if g.Prob[x][y] == 0 {
 					continue
 				}
 				for a := 0; a < 2; a++ {
-					eff := bobEffect(alice[x], a)
-					t := eff.Transpose().Scale(complex(g.Prob[x][y]/2, 0))
+					eff := bobEffectInto(effA, alice[x], a)
+					c := complex(g.Prob[x][y]/2, 0)
 					if g.Win(x, y, a, 0) {
-						diff = diff.Add(t)
+						diff.AddScaledTransposeInPlace(c, eff)
 					}
 					if g.Win(x, y, a, 1) {
-						diff = diff.Sub(t)
+						diff.SubScaledTransposeInPlace(c, eff)
 					}
 				}
 			}
@@ -224,18 +231,41 @@ func (g *GeneralGame) seeSawOnce(rng *xrand.RNG) SeeSawResult {
 // bellProb returns P(a, b | projectors) on the Bell pair:
 // Tr[(A^a ⊗ B^b)|Φ+⟩⟨Φ+|] = Tr[A^a (B^b)ᵀ]/2.
 func bellProb(aliceProj, bobProj *linalg.Mat, a, b int) float64 {
-	ea := bobEffect(aliceProj, a)
-	eb := bobEffect(bobProj, b)
-	return real(ea.Mul(eb.Transpose()).Trace()) / 2
+	return bellProbInto(linalg.NewMat(2, 2), linalg.NewMat(2, 2), aliceProj, bobProj, a, b)
+}
+
+// bellProbInto is bellProb with caller-provided effect scratch, for the
+// see-saw hot loops.
+func bellProbInto(ea2, eb2, aliceProj, bobProj *linalg.Mat, a, b int) float64 {
+	ea := bobEffectInto(ea2, aliceProj, a)
+	eb := bobEffectInto(eb2, bobProj, b)
+	return real(linalg.TraceMulT(ea, eb)) / 2
 }
 
 // bobEffect returns the effect operator for outcome o given the outcome-0
 // projector p: p itself for o = 0, I − p for o = 1.
 func bobEffect(p *linalg.Mat, o int) *linalg.Mat {
+	return bobEffectInto(linalg.NewMat(2, 2), p, o)
+}
+
+// bobEffectInto is bobEffect writing the o = 1 complement into out instead
+// of allocating; for o = 0 it returns p itself and leaves out untouched.
+// The complement subtracts from explicit identity entries, matching
+// Identity(2).Sub(p) bit for bit.
+func bobEffectInto(out, p *linalg.Mat, o int) *linalg.Mat {
 	if o == 0 {
 		return p
 	}
-	return linalg.Identity(2).Sub(p)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			var id complex128
+			if i == j {
+				id = 1
+			}
+			out.Set(i, j, id-p.At(i, j))
+		}
+	}
+	return out
 }
 
 // positiveEigenprojector returns the projector onto the strictly positive

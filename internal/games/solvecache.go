@@ -18,21 +18,25 @@ import (
 // concurrent use — the parallel experiment driver and the Figure 3 trial
 // fan-out hit it from many goroutines.
 
-// solveCacheMaxEntries bounds memory: past the cap new games are solved
-// but not retained. Far above any experiment's working set (Figure 3 on
-// K_n has at most 2^(n(n−1)/2) distinct labelings; n=5 gives 1024).
+// solveCacheMaxEntries bounds memory: past the cap the clock sweep evicts
+// a cold entry to make room for each new game. Far above any experiment's
+// working set (Figure 3 on K_n has at most 2^(n(n−1)/2) distinct labelings;
+// n=5 gives 1024), so eviction only matters for adversarial or exploratory
+// workloads — which now degrade to LRU-like behavior instead of permanently
+// refusing to cache anything new.
 const solveCacheMaxEntries = 1 << 16
 
 var solveCache struct {
 	mu        sync.Mutex
-	classical map[string]ClassicalResult
-	quantum   map[string]QuantumResult
+	classical *clockCache[ClassicalResult]
+	quantum   *clockCache[QuantumResult]
 }
 
 // Cache effectiveness counters, one set per solver. "unretained" counts
-// solves that could not be cached because the entry cap was reached — the
-// closest thing this non-evicting cache has to an eviction, and the signal
-// that solveCacheMaxEntries needs revisiting if it ever moves.
+// entries pushed out by the clock eviction — the metric keeps its
+// historical name, but it now means "a result was cached and later evicted"
+// rather than "a result was never cached"; either way it is the signal that
+// solveCacheMaxEntries needs revisiting if it ever climbs.
 var (
 	classicalHits       = metrics.Default().Counter("solvecache_hits", "solver", "classical")
 	classicalMisses     = metrics.Default().Counter("solvecache_misses", "solver", "classical")
@@ -83,7 +87,11 @@ func internalSolveRNG(key string) *xrand.RNG {
 func (g *XORGame) cachedClassical() ClassicalResult {
 	key := g.signKey()
 	solveCache.mu.Lock()
-	r, ok := solveCache.classical[key]
+	var r ClassicalResult
+	var ok bool
+	if solveCache.classical != nil {
+		r, ok = solveCache.classical.get(key)
+	}
 	solveCache.mu.Unlock()
 	if ok {
 		classicalHits.Inc()
@@ -92,14 +100,13 @@ func (g *XORGame) cachedClassical() ClassicalResult {
 		r = g.classicalValueUncached()
 		solveCache.mu.Lock()
 		if solveCache.classical == nil {
-			solveCache.classical = make(map[string]ClassicalResult)
+			solveCache.classical = newClockCache[ClassicalResult](solveCacheMaxEntries)
 		}
-		if len(solveCache.classical) < solveCacheMaxEntries {
-			solveCache.classical[key] = r
-		} else {
+		evicted := solveCache.classical.put(key, r)
+		solveCache.mu.Unlock()
+		if evicted {
 			classicalUnretained.Inc()
 		}
-		solveCache.mu.Unlock()
 	}
 	return ClassicalResult{Bias: r.Bias, Value: r.Value, A: copyInts(r.A), B: copyInts(r.B)}
 }
@@ -110,7 +117,11 @@ func (g *XORGame) cachedClassical() ClassicalResult {
 func (g *XORGame) cachedQuantum() QuantumResult {
 	key := g.signKey()
 	solveCache.mu.Lock()
-	r, ok := solveCache.quantum[key]
+	var r QuantumResult
+	var ok bool
+	if solveCache.quantum != nil {
+		r, ok = solveCache.quantum.get(key)
+	}
 	solveCache.mu.Unlock()
 	if ok {
 		quantumHits.Inc()
@@ -119,14 +130,13 @@ func (g *XORGame) cachedQuantum() QuantumResult {
 		r = g.quantumValueUncached(internalSolveRNG(key))
 		solveCache.mu.Lock()
 		if solveCache.quantum == nil {
-			solveCache.quantum = make(map[string]QuantumResult)
+			solveCache.quantum = newClockCache[QuantumResult](solveCacheMaxEntries)
 		}
-		if len(solveCache.quantum) < solveCacheMaxEntries {
-			solveCache.quantum[key] = r
-		} else {
+		evicted := solveCache.quantum.put(key, r)
+		solveCache.mu.Unlock()
+		if evicted {
 			quantumUnretained.Inc()
 		}
-		solveCache.mu.Unlock()
 	}
 	return QuantumResult{
 		Bias:  r.Bias,

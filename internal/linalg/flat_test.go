@@ -1,0 +1,131 @@
+package linalg
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// The flat kernels' contract is exact agreement with the naive left-to-right
+// element loops (and hence the RVec methods) — the unrolling must never
+// change a single rounding. These tests check every length through the
+// unroll boundary (0..4 remainders) with bit-level comparisons.
+
+func randVec(r *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.NormFloat64() * math.Exp(r.NormFloat64())
+	}
+	return v
+}
+
+func TestFlatDotMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	for n := 0; n <= 19; n++ {
+		for trial := 0; trial < 20; trial++ {
+			a, b := randVec(r, n), randVec(r, n)
+			var want float64
+			for i := range a {
+				want += a[i] * b[i]
+			}
+			if got := FlatDot(a, b); got != want {
+				t.Fatalf("n=%d: FlatDot=%v, naive=%v", n, got, want)
+			}
+			if got, want := FlatDot(a, b), RVec(a).Dot(RVec(b)); got != want {
+				t.Fatalf("n=%d: FlatDot=%v, RVec.Dot=%v", n, got, want)
+			}
+		}
+	}
+}
+
+func TestFlatAxpyMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	for n := 0; n <= 19; n++ {
+		for trial := 0; trial < 20; trial++ {
+			x, y0 := randVec(r, n), randVec(r, n)
+			c := r.NormFloat64()
+			want := append([]float64(nil), y0...)
+			for i := range want {
+				want[i] += c * x[i]
+			}
+			got := append([]float64(nil), y0...)
+			FlatAxpy(c, x, got)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d i=%d: FlatAxpy=%v, naive=%v", n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFlatNrm2MatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewPCG(5, 6))
+	for n := 0; n <= 19; n++ {
+		v := randVec(r, n)
+		var s float64
+		for _, w := range v {
+			s += w * w
+		}
+		if got, want := FlatNrm2(v), math.Sqrt(s); got != want {
+			t.Fatalf("n=%d: FlatNrm2=%v, naive=%v", n, got, want)
+		}
+		if got, want := FlatNrm2(v), RVec(v).Norm(); got != want {
+			t.Fatalf("n=%d: FlatNrm2=%v, RVec.Norm=%v", n, got, want)
+		}
+	}
+}
+
+func TestFlatNormalize(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 8))
+	for n := 1; n <= 19; n++ {
+		v := randVec(r, n)
+		want := append(RVec(nil), v...)
+		want.Normalize()
+		pre := FlatNrm2(v)
+		if got := FlatNormalize(v); got != pre {
+			t.Fatalf("n=%d: FlatNormalize returned %v, pre-norm was %v", n, got, pre)
+		}
+		for i := range v {
+			if v[i] != want[i] {
+				t.Fatalf("n=%d i=%d: FlatNormalize=%v, RVec.Normalize=%v", n, i, v[i], want[i])
+			}
+		}
+	}
+	// Zero vector: unchanged, returns 0.
+	z := make([]float64, 5)
+	if got := FlatNormalize(z); got != 0 {
+		t.Fatalf("zero vector norm = %v, want 0", got)
+	}
+	for i, w := range z {
+		if w != 0 {
+			t.Fatalf("zero vector entry %d became %v", i, w)
+		}
+	}
+}
+
+func TestFlatZero(t *testing.T) {
+	v := []float64{1, -2, math.Inf(1), math.NaN(), 5}
+	FlatZero(v)
+	for i, w := range v {
+		if w != 0 {
+			t.Fatalf("entry %d = %v after FlatZero", i, w)
+		}
+	}
+}
+
+func TestFlatKernelShapePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"dot":  func() { FlatDot([]float64{1}, []float64{1, 2}) },
+		"axpy": func() { FlatAxpy(2, []float64{1}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected dimension-mismatch panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

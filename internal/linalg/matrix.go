@@ -91,6 +91,136 @@ func (m *Mat) Scale(c complex128) *Mat {
 	return out
 }
 
+// Zero clears m in place and returns m, so hot loops can reuse one
+// accumulator matrix instead of allocating per iteration.
+func (m *Mat) Zero() *Mat {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	return m
+}
+
+// AddScaledInPlace sets m ← m + c·b in place. Each entry performs the same
+// two operations (scale, then add) as Scale followed by Add, so results are
+// bit-identical to the allocating path.
+func (m *Mat) AddScaledInPlace(c complex128, b *Mat) *Mat {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("linalg: AddScaledInPlace shape mismatch")
+	}
+	for i := range m.Data {
+		m.Data[i] += c * b.Data[i]
+	}
+	return m
+}
+
+// SubScaledInPlace sets m ← m − c·b in place, matching Scale-then-Sub bit
+// for bit.
+func (m *Mat) SubScaledInPlace(c complex128, b *Mat) *Mat {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("linalg: SubScaledInPlace shape mismatch")
+	}
+	for i := range m.Data {
+		m.Data[i] -= c * b.Data[i]
+	}
+	return m
+}
+
+// AddScaledTransposeInPlace sets m ← m + c·bᵀ in place (no conjugation),
+// matching Transpose-Scale-Add bit for bit.
+func (m *Mat) AddScaledTransposeInPlace(c complex128, b *Mat) *Mat {
+	if m.Rows != b.Cols || m.Cols != b.Rows {
+		panic("linalg: AddScaledTransposeInPlace shape mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			m.Data[i*m.Cols+j] += c * b.At(j, i)
+		}
+	}
+	return m
+}
+
+// SubScaledTransposeInPlace sets m ← m − c·bᵀ in place (no conjugation),
+// matching Transpose-Scale-Sub bit for bit.
+func (m *Mat) SubScaledTransposeInPlace(c complex128, b *Mat) *Mat {
+	if m.Rows != b.Cols || m.Cols != b.Rows {
+		panic("linalg: SubScaledTransposeInPlace shape mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			m.Data[i*m.Cols+j] -= c * b.At(j, i)
+		}
+	}
+	return m
+}
+
+// TraceMul returns Tr[m·b] without materializing the product. The
+// accumulation order (inner sum over k skipping zero m entries, outer sum
+// over rows) matches Mul followed by Trace bit for bit.
+func TraceMul(m, b *Mat) complex128 {
+	if m.Cols != b.Rows || m.Rows != b.Cols {
+		panic("linalg: TraceMul shape mismatch")
+	}
+	var tr complex128
+	for i := 0; i < m.Rows; i++ {
+		var s complex128
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			s += a * b.At(k, i)
+		}
+		tr += s
+	}
+	return tr
+}
+
+// TraceMulT returns Tr[m·bᵀ] (no conjugation) without materializing the
+// transpose or the product, with the same rounding as
+// m.Mul(b.Transpose()).Trace().
+func TraceMulT(m, b *Mat) complex128 {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("linalg: TraceMulT shape mismatch")
+	}
+	var tr complex128
+	for i := 0; i < m.Rows; i++ {
+		var s complex128
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			s += a * b.At(i, k)
+		}
+		tr += s
+	}
+	return tr
+}
+
+// KronInto writes the Kronecker product a ⊗ b into out (which must be
+// a.Rows·b.Rows × a.Cols·b.Cols), reusing out's storage. Identical to Kron
+// including the zero-skip, after clearing out.
+func KronInto(out, a, b *Mat) *Mat {
+	if out.Rows != a.Rows*b.Rows || out.Cols != a.Cols*b.Cols {
+		panic("linalg: KronInto shape mismatch")
+	}
+	out.Zero()
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			v := a.At(i, j)
+			if v == 0 {
+				continue
+			}
+			for k := 0; k < b.Rows; k++ {
+				for l := 0; l < b.Cols; l++ {
+					out.Set(i*b.Rows+k, j*b.Cols+l, v*b.At(k, l))
+				}
+			}
+		}
+	}
+	return out
+}
+
 // Mul returns the matrix product m·b.
 func (m *Mat) Mul(b *Mat) *Mat {
 	if m.Cols != b.Rows {
