@@ -16,6 +16,7 @@ test: build
 verify: build
 	$(GO) vet ./...
 	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 	$(GO) test -race ./...
 
 race:

@@ -323,6 +323,29 @@ func BenchmarkE16QKD(b *testing.B) {
 	}
 }
 
+// BenchmarkE17Chaos regenerates a reduced fault-injection run: the full
+// phase schedule against a resilient session, classical floor held.
+func BenchmarkE17Chaos(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunChaos(core.ChaosConfig{
+			Game:    games.NewColocationCHSH(),
+			Source:  entangle.DefaultSource(),
+			QNIC:    entangle.DefaultQNIC(),
+			PoolCap: 64,
+			Chain:   &entangle.RepeaterChain{Segments: 4, Source: entangle.DefaultSource(), BSMSuccess: 0.5},
+			Phases:  core.DefaultChaosPhases(300),
+			Seed:    42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.FloorHeld {
+			b.Fatalf("classical floor broken: %+v", res.Phases)
+		}
+	}
+}
+
 // BenchmarkServeHotPath isolates the simulator's inner loop: one saturated
 // load-balancing run per iteration, dominated by Server push/serve/remove
 // traffic. The per-type counts, prefix-shift removal, and reused scratch

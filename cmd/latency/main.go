@@ -4,6 +4,11 @@
 // quantum pre-shared (QNIC-measurement latency, win up to cos²(π/8)), and
 // coordinated classical (full fiber RTT, win 1.0) — and how the quantum
 // architecture degrades when request rate outstrips the pair supply.
+//
+// With -faults it instead replays the E17 chaos schedule: a scripted fault
+// timeline (source outage, fiber-loss burst, decoherence spike, pool flush,
+// BSM failure) against a resilient session, reporting per-phase win rates
+// against the paired classical floor.
 package main
 
 import (
@@ -11,6 +16,8 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/entangle"
+	"repro/internal/games"
 )
 
 func main() {
@@ -19,6 +26,7 @@ func main() {
 	rounds := flag.Int("rounds", 20000, "coordination rounds")
 	pairRate := flag.Float64("pair-rate", 1e5, "SPDC pair generation rate per second")
 	supply := flag.Bool("supply", false, "run the E7 supply sweep instead of the single comparison")
+	chaos := flag.Bool("faults", false, "run the E17 fault-injection schedule instead of the single comparison")
 	seed := flag.Uint64("seed", 5, "random seed")
 	flag.Parse()
 
@@ -29,6 +37,10 @@ func main() {
 	cfg.Source.PairRate = *pairRate
 	cfg.Seed = *seed
 
+	if *chaos {
+		runFaults(cfg)
+		return
+	}
 	if *supply {
 		runSupplySweep(cfg)
 		return
@@ -46,7 +58,7 @@ func main() {
 func runSupplySweep(base core.TimingConfig) {
 	fmt.Println("=== E7: entanglement supply vs demand ===")
 	fmt.Printf("pair rate fixed at %g/s; sweeping request rate\n\n", base.Source.PairRate)
-	fmt.Println("req/s      quantum-fraction   win-rate   (expected: fraction ≈ min(1, supply/demand))")
+	fmt.Println("req/s      quantum-fraction   win-rate   delivered  rejected  expired   (expected: fraction ≈ min(1, supply/demand))")
 	for _, mult := range []float64{0.25, 0.5, 1, 2, 4, 8} {
 		cfg := base
 		cfg.RequestRate = base.Source.PairRate * mult
@@ -57,11 +69,68 @@ func runSupplySweep(base core.TimingConfig) {
 			if r.Architecture != "quantum-pre-shared" {
 				continue
 			}
-			fmt.Printf("%-9.0f  %.3f              %.4f\n",
-				cfg.RequestRate, r.QuantumFraction, r.WinRate.Rate())
+			fmt.Printf("%-9.0f  %.3f              %.4f     %-9d  %-8d  %-8d\n",
+				cfg.RequestRate, r.QuantumFraction, r.WinRate.Rate(),
+				r.Supply.Delivered, r.Supply.Rejected, r.Pool.Expired)
 		}
 	}
 	fmt.Println("\nwhen demand exceeds supply the session falls back classically for the")
 	fmt.Println("shortfall: win rate interpolates between 0.854 and 0.75, never below —")
 	fmt.Println("entanglement shortage degrades correlation quality, not correctness")
+}
+
+// runFaults replays the E17 chaos schedule at this command's source/QNIC
+// settings. DefaultChaosPhases spans 11 phase-lengths, so -rounds is split
+// evenly to keep the total round count comparable to the other modes.
+func runFaults(base core.TimingConfig) {
+	perPhase := base.Rounds / 11
+	if perPhase < 1 {
+		perPhase = 1
+	}
+	res, err := core.RunChaos(core.ChaosConfig{
+		Game:        games.NewColocationCHSH(),
+		Source:      base.Source,
+		QNIC:        base.QNIC,
+		RequestRate: base.RequestRate,
+		PoolCap:     64,
+		Chain:       &entangle.RepeaterChain{Segments: 4, Source: base.Source, BSMSuccess: 0.5},
+		Phases:      core.DefaultChaosPhases(perPhase),
+		Seed:        base.Seed,
+	})
+	if err != nil {
+		fmt.Println("chaos run failed:", err)
+		return
+	}
+	fmt.Println("=== E17: fault injection and graceful degradation ===")
+	fmt.Printf("%g req/s, %g pairs/s, %d rounds per phase unit\n\n",
+		base.RequestRate, base.Source.PairRate, perPhase)
+	fmt.Println("fault timeline:")
+	fmt.Print(res.Schedule.Timeline())
+	fmt.Println()
+	fmt.Println("phase              fault              quantum  visibility  win-rate  classical  floor")
+	for _, p := range res.Phases {
+		floor := "held"
+		if p.Wins < p.ClassicalWins {
+			floor = "BROKEN"
+		}
+		vis := "-"
+		if p.QuantumRounds > 0 {
+			vis = fmt.Sprintf("%.4f", p.MeanVisibility)
+		}
+		fmt.Printf("%-18s %-18s %.3f    %-10s  %.4f    %.4f     %s\n",
+			p.Name, p.Fault, p.QuantumFraction(), vis, p.WinRate(), p.ClassicalRate(), floor)
+	}
+	st := res.Session
+	fmt.Printf("\nsession: %d rounds, levels quantum/reopt/classical/random = %d/%d/%d/%d, retries %d, waited %v\n",
+		st.Rounds, st.LevelRounds[0], st.LevelRounds[1], st.LevelRounds[2], st.LevelRounds[3],
+		st.Retries, st.Waited)
+	fmt.Printf("supply:  generated %d, fiber-lost %d, delivered %d, suppressed %d; pool expired %d, flushed %d\n",
+		res.Service.Generated, res.Service.LostFiber, res.Service.Delivered,
+		res.Service.Suppressed, res.Pool.Expired, res.Pool.Flushed)
+	if res.FloorHeld {
+		fmt.Println("\nevery phase held the paired classical floor: faults degrade the win")
+		fmt.Println("rate toward 0.75, never below it")
+	} else {
+		fmt.Println("\nWARNING: at least one phase fell below the paired classical floor")
+	}
 }

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/entangle"
+	"repro/internal/faults"
+	"repro/internal/games"
+	"repro/internal/netsim"
+	"repro/internal/xrand"
+)
+
+// Chaos harness: a scripted end-to-end fault run through the full supply
+// chain — engine-driven SPDC service filling a QNIC pool, a deterministic
+// fault injector replaying a phase script against it, and a resilient
+// session playing the game round by round. The run's headline claim is the
+// graceful-degradation guarantee: in every phase, however hostile, the
+// session wins at least as often as the best classical strategy would on
+// the very same inputs (the paired classical floor), because every rung of
+// the ladder at or below critical visibility plays exactly that strategy.
+
+// ChaosPhase is one scripted segment of a chaos run: `Rounds` coordination
+// rounds during which one fault kind (or none) is in force.
+type ChaosPhase struct {
+	Name   string
+	Rounds int
+	// Fault is the phase's fault kind; KindNone for nominal/recovery phases.
+	Fault faults.Kind
+	// Severity is the fault's kind-specific severity (see faults.Window).
+	Severity float64
+}
+
+// ChaosConfig assembles a chaos run.
+type ChaosConfig struct {
+	// Game is the coordination objective. Required.
+	Game *games.XORGame
+	// Source is the SPDC source feeding the pool.
+	Source entangle.SourceConfig
+	// QNIC models pair storage and decoherence.
+	QNIC entangle.QNICConfig
+	// RequestRate is coordination rounds per second (uniform arrivals, so
+	// round k falls at exactly k/RequestRate — phase boundaries align with
+	// fault windows). Default 5e4.
+	RequestRate float64
+	// PoolCap bounds stored pairs (0 = unlimited).
+	PoolCap int
+	// Chain, when non-nil, gives BSM-failure phases repeater semantics.
+	Chain *entangle.RepeaterChain
+	// Phases is the fault script. Required (use DefaultChaosPhases).
+	Phases []ChaosPhase
+	// Health tunes the degradation ladder (nil = defaults).
+	Health *HealthConfig
+	// Retry bounds in-round waits for in-flight pairs. The zero value gets
+	// a default of half the round step (a wait can never run past the next
+	// round's arrival, keeping pool clocks monotone).
+	Retry RetryPolicy
+	// Seed drives every random stream in the run.
+	Seed uint64
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.RequestRate == 0 {
+		c.RequestRate = 5e4
+	}
+	if c.Health == nil {
+		c.Health = &HealthConfig{}
+	}
+	return c
+}
+
+// step is the uniform inter-round interval.
+func (c ChaosConfig) step() time.Duration {
+	return time.Duration(float64(time.Second) / c.RequestRate)
+}
+
+// DefaultChaosPhases returns the E17 script: nominal warm-up, then one phase
+// per fault kind with recovery windows between, then a long cool-down. base
+// is the rounds-per-phase unit.
+func DefaultChaosPhases(base int) []ChaosPhase {
+	return []ChaosPhase{
+		{Name: "nominal", Rounds: 2 * base, Fault: faults.KindNone},
+		{Name: "source-outage", Rounds: base, Fault: faults.KindSourceOutage},
+		{Name: "recovery-1", Rounds: base, Fault: faults.KindNone},
+		{Name: "fiber-burst", Rounds: base, Fault: faults.KindFiberLossBurst, Severity: 0.02},
+		{Name: "recovery-2", Rounds: base, Fault: faults.KindNone},
+		{Name: "decoherence-spike", Rounds: base, Fault: faults.KindDecoherenceSpike, Severity: 0.12},
+		{Name: "pool-flush", Rounds: base, Fault: faults.KindPoolFlush},
+		{Name: "bsm-failure", Rounds: base, Fault: faults.KindBSMFailure, Severity: 0.2},
+		{Name: "cooldown", Rounds: 2 * base, Fault: faults.KindNone},
+	}
+}
+
+// Schedule converts the phase script into a fault timeline at the config's
+// request rate.
+func (c ChaosConfig) Schedule() faults.Schedule {
+	step := c.step()
+	var s faults.Schedule
+	at := time.Duration(0)
+	for _, p := range c.Phases {
+		end := at + time.Duration(p.Rounds)*step
+		switch p.Fault {
+		case faults.KindNone:
+		case faults.KindPoolFlush:
+			s.Windows = append(s.Windows, faults.Window{Kind: p.Fault, Start: at, End: at})
+		default:
+			s.Windows = append(s.Windows, faults.Window{
+				Kind: p.Fault, Start: at, End: end, Severity: p.Severity,
+			})
+		}
+		at = end
+	}
+	return s
+}
+
+// ChaosPhaseResult summarizes one phase of the run.
+type ChaosPhaseResult struct {
+	Name     string
+	Fault    faults.Kind
+	Severity float64
+	Rounds   int64
+	// Wins is the session's game wins this phase; ClassicalWins is what the
+	// best classical pair strategy scored on the SAME inputs. Wins ≥
+	// ClassicalWins in every phase is the graceful-degradation guarantee.
+	Wins          int64
+	ClassicalWins int64
+	QuantumRounds int64
+	// MeanVisibility averages consumed pairs' visibility (0 if none).
+	MeanVisibility float64
+	// LevelRounds counts rounds per degradation rung within the phase.
+	LevelRounds [NumLevels]int64
+	Retries     int64
+	Waited      time.Duration
+}
+
+// WinRate is the phase's measured win rate.
+func (r ChaosPhaseResult) WinRate() float64 {
+	if r.Rounds == 0 {
+		return 0
+	}
+	return float64(r.Wins) / float64(r.Rounds)
+}
+
+// ClassicalRate is the paired classical strategy's win rate on the phase's
+// inputs.
+func (r ChaosPhaseResult) ClassicalRate() float64 {
+	if r.Rounds == 0 {
+		return 0
+	}
+	return float64(r.ClassicalWins) / float64(r.Rounds)
+}
+
+// QuantumFraction is the fraction of the phase's rounds played quantum.
+func (r ChaosPhaseResult) QuantumFraction() float64 {
+	if r.Rounds == 0 {
+		return 0
+	}
+	return float64(r.QuantumRounds) / float64(r.Rounds)
+}
+
+// ChaosResult is the complete outcome of a chaos run.
+type ChaosResult struct {
+	Phases   []ChaosPhaseResult
+	Session  Stats
+	Service  entangle.ServiceStats
+	Pool     entangle.PoolStats
+	Injector faults.Stats
+	Schedule faults.Schedule
+	Step     time.Duration
+	// FloorHeld reports the acceptance criterion: every phase's Wins ≥ that
+	// phase's paired ClassicalWins.
+	FloorHeld bool
+}
+
+// RunChaos executes the scripted fault run and returns per-phase results.
+// Determinism: the service, session and input streams are xrand splits of
+// cfg.Seed; faults are scripted engine events; rounds arrive on a uniform
+// grid — the result is a pure function of cfg.
+func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Game == nil {
+		return nil, fmt.Errorf("core: ChaosConfig.Game is required")
+	}
+	if len(cfg.Phases) == 0 {
+		return nil, fmt.Errorf("core: ChaosConfig.Phases is required")
+	}
+	if err := cfg.Source.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.QNIC.Validate(); err != nil {
+		return nil, err
+	}
+	step := cfg.step()
+	retry := cfg.Retry
+	if retry.MaxWait == 0 {
+		retry.MaxWait = step / 2
+	}
+
+	base := xrand.New(cfg.Seed, 0xc4a05)
+	engine := &netsim.Engine{}
+	pool := entangle.NewPool(cfg.QNIC, cfg.PoolCap)
+	svc := entangle.StartService(engine, cfg.Source, pool, base.Split(1))
+
+	hc := *cfg.Health
+	if hc.BaseVisibility == 0 {
+		hc.BaseVisibility = cfg.Source.BaseVisibility
+	}
+	sess, err := NewSession(Config{
+		Game:     cfg.Game,
+		Supplier: pool,
+		QNIC:     cfg.QNIC,
+		Seed:     cfg.Seed,
+		Health:   &hc,
+		Engine:   engine,
+		Retry:    retry,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sched := cfg.Schedule()
+	inj := faults.NewInjector(engine, sched, faults.Target{Service: svc, Pool: pool, Chain: cfg.Chain})
+	inj.Arm()
+
+	// The paired classical baseline: a deterministic strategy consuming no
+	// randomness, replayed on the identical input sequence.
+	classical := cfg.Game.BestClassicalSampler()
+	inputRNG := base.Split(2)
+
+	res := &ChaosResult{Schedule: sched, Step: step, FloorHeld: true}
+	now := time.Duration(0)
+	round := 0
+	for _, p := range cfg.Phases {
+		pr := ChaosPhaseResult{Name: p.Name, Fault: p.Fault, Severity: p.Severity, Rounds: int64(p.Rounds)}
+		before := sess.Stats()
+		var visSum float64
+		for i := 0; i < p.Rounds; i++ {
+			now = time.Duration(round) * step
+			engine.RunUntil(now)
+			x, y := cfg.Game.SampleInput(inputRNG)
+			d := sess.Round(now, x, y)
+			if d.Mode == ModeQuantum {
+				visSum += d.Visibility
+			}
+			ca, cb := classical.Sample(x, y, nil)
+			if cfg.Game.Wins(x, y, ca, cb) {
+				pr.ClassicalWins++
+			}
+			round++
+		}
+		after := sess.Stats()
+		pr.Wins = after.Wins.Successes() - before.Wins.Successes()
+		pr.QuantumRounds = after.QuantumRounds - before.QuantumRounds
+		pr.Retries = after.Retries - before.Retries
+		pr.Waited = after.Waited - before.Waited
+		for l := 0; l < NumLevels; l++ {
+			pr.LevelRounds[l] = after.LevelRounds[l] - before.LevelRounds[l]
+		}
+		if pr.QuantumRounds > 0 {
+			pr.MeanVisibility = visSum / float64(pr.QuantumRounds)
+		}
+		if pr.Wins < pr.ClassicalWins {
+			res.FloorHeld = false
+		}
+		res.Phases = append(res.Phases, pr)
+	}
+	svc.Stop()
+
+	res.Session = sess.Stats()
+	res.Service = svc.Stats()
+	res.Pool = pool.Stats()
+	res.Injector = inj.Stats()
+	return res, nil
+}

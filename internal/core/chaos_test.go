@@ -1,0 +1,154 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/entangle"
+	"repro/internal/faults"
+	"repro/internal/games"
+)
+
+func chaosConfig(base int) ChaosConfig {
+	return ChaosConfig{
+		Game:    games.NewColocationCHSH(),
+		Source:  entangle.DefaultSource(),
+		QNIC:    entangle.DefaultQNIC(),
+		PoolCap: 64,
+		Chain:   &entangle.RepeaterChain{Segments: 4, Source: entangle.DefaultSource(), BSMSuccess: 0.5},
+		Phases:  DefaultChaosPhases(base),
+		Seed:    42,
+	}
+}
+
+// TestRunChaosHoldsClassicalFloor is the PR's acceptance criterion: in every
+// fault phase the session wins at least as often as the best classical
+// strategy does on the identical inputs. The comparison is paired and the
+// classical strategy is deterministic, so the assertion is exact, not
+// statistical.
+func TestRunChaosHoldsClassicalFloor(t *testing.T) {
+	res, err := RunChaos(chaosConfig(1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Phases {
+		if p.Wins < p.ClassicalWins {
+			t.Errorf("phase %q: wins %d below the paired classical floor %d",
+				p.Name, p.Wins, p.ClassicalWins)
+		}
+	}
+	if !res.FloorHeld {
+		t.Error("FloorHeld = false")
+	}
+}
+
+// TestRunChaosFaultPhasesShapeTheRun checks the fault kinds actually bite:
+// supply and win rate track the phase script.
+func TestRunChaosFaultPhasesShapeTheRun(t *testing.T) {
+	res, err := RunChaos(chaosConfig(1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ChaosPhaseResult{}
+	for _, p := range res.Phases {
+		byName[p.Name] = p
+	}
+
+	nominal := byName["nominal"]
+	if nominal.QuantumFraction() < 0.5 {
+		t.Fatalf("nominal phase quantum fraction %.3f — supply chain broken", nominal.QuantumFraction())
+	}
+	if nominal.WinRate() < 0.78 {
+		t.Fatalf("nominal win rate %.4f shows no quantum advantage", nominal.WinRate())
+	}
+
+	outage := byName["source-outage"]
+	// A 64-pair pool at 10µs round spacing drains within the first ~64
+	// rounds of a 1500-round outage: the phase is dominated by fallback.
+	if outage.QuantumFraction() > 0.2 {
+		t.Fatalf("outage phase quantum fraction %.3f — outage did not starve the pool", outage.QuantumFraction())
+	}
+	if outage.LevelRounds[DegradeClassical] == 0 {
+		t.Fatal("outage phase never reached the classical rung")
+	}
+
+	burst := byName["fiber-burst"]
+	if burst.QuantumFraction() >= nominal.QuantumFraction() {
+		t.Fatalf("fiber burst did not thin supply: %.3f vs nominal %.3f",
+			burst.QuantumFraction(), nominal.QuantumFraction())
+	}
+
+	spike := byName["decoherence-spike"]
+	if spike.QuantumRounds > 0 && spike.MeanVisibility >= nominal.MeanVisibility {
+		t.Fatalf("decoherence spike did not lower delivered visibility: %.4f vs %.4f",
+			spike.MeanVisibility, nominal.MeanVisibility)
+	}
+
+	cooldown := byName["cooldown"]
+	if cooldown.QuantumFraction() < 0.5 || cooldown.WinRate() < 0.78 {
+		t.Fatalf("no recovery in cooldown: quantum %.3f win %.4f",
+			cooldown.QuantumFraction(), cooldown.WinRate())
+	}
+
+	if res.Injector.FlushedPairs == 0 {
+		t.Fatal("pool-flush phase flushed nothing")
+	}
+	if res.Service.Suppressed == 0 {
+		t.Fatal("outage suppressed no generation ticks")
+	}
+}
+
+// TestRunChaosIsDeterministic: identical configs give identical results —
+// the whole run is a pure function of the config.
+func TestRunChaosIsDeterministic(t *testing.T) {
+	a, err := RunChaos(chaosConfig(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(chaosConfig(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Phases, b.Phases) {
+		t.Fatal("phase results differ between identical runs")
+	}
+	if a.Session != b.Session || a.Service != b.Service || a.Pool != b.Pool {
+		t.Fatal("aggregate stats differ between identical runs")
+	}
+}
+
+func TestRunChaosValidation(t *testing.T) {
+	if _, err := RunChaos(ChaosConfig{}); err == nil {
+		t.Fatal("missing game not rejected")
+	}
+	cfg := chaosConfig(10)
+	cfg.Phases = nil
+	if _, err := RunChaos(cfg); err == nil {
+		t.Fatal("missing phases not rejected")
+	}
+}
+
+func TestChaosConfigSchedule(t *testing.T) {
+	cfg := ChaosConfig{
+		RequestRate: 1e5, // 10µs step
+		Phases: []ChaosPhase{
+			{Name: "warm", Rounds: 100, Fault: faults.KindNone},
+			{Name: "out", Rounds: 50, Fault: faults.KindSourceOutage},
+			{Name: "flush", Rounds: 50, Fault: faults.KindPoolFlush},
+		},
+	}
+	s := cfg.Schedule()
+	if len(s.Windows) != 2 {
+		t.Fatalf("windows = %d, want 2 (KindNone emits none)", len(s.Windows))
+	}
+	if s.Windows[0].Start != time.Millisecond || s.Windows[0].End != 1500*time.Microsecond {
+		t.Fatalf("outage window misaligned: %+v", s.Windows[0])
+	}
+	if s.Windows[1].Start != 1500*time.Microsecond || s.Windows[1].End != s.Windows[1].Start {
+		t.Fatalf("flush window misaligned: %+v", s.Windows[1])
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/entangle"
 	"repro/internal/games"
+	"repro/internal/netsim"
 	"repro/internal/stats"
 	"repro/internal/xrand"
 )
@@ -40,6 +41,20 @@ type Config struct {
 	QNIC entangle.QNICConfig
 	// Seed drives all of the session's randomness.
 	Seed uint64
+
+	// Health, when non-nil, enables the graceful-degradation ladder: a
+	// HealthMonitor tracks rolling delivered visibility and supply rate and
+	// the session steps between quantum, re-optimized-quantum, classical
+	// and random strategies with hysteresis. Nil preserves the original
+	// two-mode (quantum/fallback) behavior exactly.
+	Health *HealthConfig
+	// Engine, when set together with Retry.MaxWait, lets a round wait a
+	// bounded simulated time for an in-flight pair (engine.RunUntil) before
+	// falling back. The session must then be driven from OUTSIDE engine
+	// callbacks (advance the engine to `now`, then call Round).
+	Engine *netsim.Engine
+	// Retry bounds the in-round wait for pool refill. Zero = never wait.
+	Retry RetryPolicy
 }
 
 // Mode records how a round was decided.
@@ -71,6 +86,12 @@ type Decision struct {
 	// includes a network round trip — that is the paper's whole point
 	// (Figure 2).
 	Latency time.Duration
+	// Level is the degradation-ladder rung the round was played at
+	// (always DegradeNone/DegradeClassical in legacy two-mode sessions).
+	Level DegradeLevel
+	// Waited is the simulated time spent waiting for an in-flight pair
+	// before this round's strategy was chosen (0 unless Retry is set).
+	Waited time.Duration
 }
 
 // Stats aggregates a session's history.
@@ -82,6 +103,13 @@ type Stats struct {
 	Wins stats.Proportion
 	// Visibility tracks consumed pairs' visibility.
 	Visibility stats.Welford
+	// LevelRounds counts rounds played at each degradation rung (resilient
+	// sessions only; legacy sessions fold into None/Classical).
+	LevelRounds [NumLevels]int64
+	// Retries counts in-round waits for pool refill; Waited totals the
+	// simulated time they consumed.
+	Retries int64
+	Waited  time.Duration
 }
 
 // Session coordinates two parties through a shared game and entanglement
@@ -99,7 +127,20 @@ type Session struct {
 	classicalValue float64
 	quantumValue   float64
 	st             Stats
+
+	// Resilient-session state (nil/zero in legacy two-mode sessions).
+	health *HealthMonitor
+	retry  RetryPolicy
+	// seesawRNG feeds re-optimization see-saws so strategy synthesis never
+	// perturbs the round stream.
+	seesawRNG *xrand.RNG
+	// reopt caches re-optimized samplers by visibility bucket (see-saws are
+	// ~10⁴ flops; visibilities within a bucket share a strategy).
+	reopt map[int]games.JointSampler
 }
+
+// reoptBucket quantizes visibility for the re-optimized-sampler cache.
+const reoptBucket = 0.02
 
 // NewSession computes the game's optimal quantum and classical strategies
 // and returns a ready session.
@@ -125,8 +166,18 @@ func NewSession(cfg Config) (*Session, error) {
 		classicalValue: c.Value,
 		quantumValue:   q.Value,
 	}
+	if cfg.Health != nil {
+		hc := *cfg.Health
+		s.health = NewHealthMonitor(hc, s.critVisibility)
+		s.retry = cfg.Retry.withDefaults()
+		s.seesawRNG = xrand.New(cfg.Seed, 0x5ee5a)
+		s.reopt = make(map[int]games.JointSampler)
+	}
 	return s, nil
 }
+
+// Health returns the session's health monitor (nil for legacy sessions).
+func (s *Session) Health() *HealthMonitor { return s.health }
 
 // CriticalVisibility returns the Werner visibility V* at which a quantum
 // strategy with noiseless value q degrades to the classical value c:
@@ -154,6 +205,9 @@ func (s *Session) CriticalVis() float64 { return s.critVisibility }
 // (pre-distributed) resources — the joint sampling here is the testbed
 // shortcut the paper's conclusion licenses for controlled studies.
 func (s *Session) Round(now time.Duration, x, y int) Decision {
+	if s.health != nil {
+		return s.resilientRound(now, x, y)
+	}
 	s.st.Rounds++
 	var d Decision
 	if vis, ok := s.cfg.Supplier.TryConsume(now); ok && vis > s.critVisibility {
@@ -164,11 +218,96 @@ func (s *Session) Round(now time.Duration, x, y int) Decision {
 		s.st.Visibility.Add(vis)
 	} else {
 		a, b := s.fallback.Sample(x, y, s.rng)
-		d = Decision{A: a, B: b, Mode: ModeFallback}
+		d = Decision{A: a, B: b, Mode: ModeFallback, Level: DegradeClassical}
 		s.st.FallbackRounds++
 	}
 	s.st.Wins.Add(s.cfg.Game.Wins(x, y, d.A, d.B))
 	return d
+}
+
+// resilientRound is the graceful-degradation round: probe-gated consumption,
+// bounded retry for in-flight pairs, and strategy selection by the health
+// monitor's ladder rung.
+func (s *Session) resilientRound(now time.Duration, x, y int) Decision {
+	s.st.Rounds++
+	var d Decision
+
+	vis, ok := 0.0, false
+	attempted := s.health.ShouldProbe(s.st.Rounds - 1)
+	if attempted {
+		vis, ok = s.cfg.Supplier.TryConsume(now)
+		if !ok && s.retry.MaxWait > 0 && s.cfg.Engine != nil && s.health.Level() <= DegradeReoptimize {
+			// A pair may already be in flight down the fiber. Wait with
+			// exponential backoff, bounded by MaxWait, advancing the engine
+			// so scheduled deliveries can land.
+			deadline := now + s.retry.MaxWait
+			for wait := s.retry.Backoff; now < deadline && !ok; wait *= 2 {
+				step := min(wait, deadline-now)
+				now += step
+				d.Waited += step
+				s.st.Retries++
+				s.cfg.Engine.RunUntil(now)
+				vis, ok = s.cfg.Supplier.TryConsume(now)
+			}
+			s.st.Waited += d.Waited
+		}
+	}
+
+	level := s.health.Level()
+	if attempted {
+		level = s.health.ObserveAttempt(ok, vis)
+	}
+	// The monitor's rung is a supply judgment; the round in hand still
+	// plays quantum only if it actually holds a usable pair.
+	playQuantum := ok && vis > s.critVisibility && level <= DegradeReoptimize
+
+	switch {
+	case playQuantum && level == DegradeNone:
+		s.quantum.Visibility = vis
+		a, b := s.quantum.Sample(x, y, s.rng)
+		d.A, d.B = a, b
+		d.Mode, d.Visibility, d.Latency = ModeQuantum, vis, s.cfg.QNIC.MeasureLatency
+		s.st.QuantumRounds++
+		s.st.Visibility.Add(vis)
+	case playQuantum: // DegradeReoptimize
+		a, b := s.reoptSampler(s.health.Visibility()).Sample(x, y, s.rng)
+		d.A, d.B = a, b
+		d.Mode, d.Visibility, d.Latency = ModeQuantum, vis, s.cfg.QNIC.MeasureLatency
+		s.st.QuantumRounds++
+		s.st.Visibility.Add(vis)
+	case level == DegradeRandom:
+		d.A, d.B = s.rng.IntN(2), s.rng.IntN(2)
+		d.Mode = ModeFallback
+		s.st.FallbackRounds++
+	default:
+		a, b := s.fallback.Sample(x, y, s.rng)
+		d.A, d.B = a, b
+		d.Mode = ModeFallback
+		s.st.FallbackRounds++
+	}
+	if d.Mode == ModeQuantum {
+		d.Level = level
+	} else if level < DegradeClassical {
+		d.Level = DegradeClassical // pool dry at a healthy rung: classical round
+	} else {
+		d.Level = level
+	}
+	s.st.LevelRounds[d.Level]++
+	s.st.Wins.Add(s.cfg.Game.Wins(x, y, d.A, d.B))
+	return d
+}
+
+// reoptSampler returns the cached re-optimized strategy for the visibility's
+// bucket, synthesizing it on first use.
+func (s *Session) reoptSampler(v float64) games.JointSampler {
+	b := int(v / reoptBucket)
+	if sp, ok := s.reopt[b]; ok {
+		return sp
+	}
+	center := (float64(b) + 0.5) * reoptBucket
+	sp, _ := games.ReoptimizedSampler(s.cfg.Game, center, s.seesawRNG)
+	s.reopt[b] = sp
+	return sp
 }
 
 // PlayReferee drives `rounds` full game rounds with referee-drawn inputs at

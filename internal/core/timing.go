@@ -64,6 +64,10 @@ type TimingResult struct {
 	// QuantumFraction is the share of rounds decided with a live pair
 	// (quantum architecture only).
 	QuantumFraction float64
+	// Supply and Pool expose the entanglement supply chain's lifecycle
+	// counters (quantum architecture only; zero for the classical rows).
+	Supply entangle.ServiceStats
+	Pool   entangle.PoolStats
 }
 
 // RunTiming executes the three architectures over the same request stream
@@ -126,6 +130,8 @@ func runQuantumPreShared(cfg TimingConfig, game *games.XORGame) TimingResult {
 	svc.Stop()
 	st := session.Stats()
 	res.QuantumFraction = float64(st.QuantumRounds) / float64(st.Rounds)
+	res.Supply = svc.Stats()
+	res.Pool = pool.Stats()
 	return res
 }
 

@@ -1,7 +1,10 @@
 package entangle
 
 import (
+	"math"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Supplier is what a coordination session consumes: one entangled pair per
@@ -18,7 +21,18 @@ type PoolStats struct {
 	Added    int64 // pairs stored
 	Consumed int64 // pairs used for decisions
 	Expired  int64 // pairs discarded at the storage limit
+	Flushed  int64 // pairs dropped by a corruption/flush event
 }
+
+// Pool lifecycle counters, aggregated process-wide in the default metrics
+// registry (one uncontended atomic add per pair event; instrumentation
+// never touches an RNG stream, so enabling -metrics cannot change results).
+var (
+	mPoolAdded    = metrics.Default().Counter("entangle_pool_added_total")
+	mPoolConsumed = metrics.Default().Counter("entangle_pool_consumed_total")
+	mPoolExpired  = metrics.Default().Counter("entangle_pool_expired_total")
+	mPoolFlushed  = metrics.Default().Counter("entangle_pool_flushed_total")
+)
 
 // Pool is a buffer of stored pairs at a pair of QNICs. Consumption is
 // freshest-first (LIFO): the newest pair has decohered the least, so it
@@ -31,6 +45,13 @@ type Pool struct {
 	Cap   int // maximum stored pairs (memory slots); 0 means unlimited
 	pairs []Pair
 	stats PoolStats
+
+	// Decoherence-spike state (SetT2Scale): while a spike is active, stored
+	// pairs decay at the extra rate on top of the nominal 1/T2. Decay
+	// accumulated under a previous scale is folded into each pair's V0 when
+	// the scale changes, so visibility is exactly piecewise-exponential.
+	extraRate  float64 // extra decay rate in 1/ns (0 when no spike is active)
+	extraSince time.Duration
 }
 
 // NewPool creates a pool with the given QNIC model and capacity.
@@ -42,7 +63,8 @@ func NewPool(q QNICConfig, capacity int) *Pool {
 }
 
 // Add stores a newly arrived pair; returns false if the pool is full (the
-// photons are measured out / discarded).
+// photons are measured out / discarded). Expiry runs first, so a slot freed
+// by a pair aging out in the same tick is immediately reusable.
 func (p *Pool) Add(pair Pair) bool {
 	p.expire(pair.ArrivedAt)
 	if p.Cap > 0 && len(p.pairs) >= p.Cap {
@@ -50,6 +72,7 @@ func (p *Pool) Add(pair Pair) bool {
 	}
 	p.pairs = append(p.pairs, pair)
 	p.stats.Added++
+	mPoolAdded.Inc()
 	return true
 }
 
@@ -67,7 +90,13 @@ func (p *Pool) expire(now time.Duration) {
 	}
 	if i > 0 {
 		p.stats.Expired += int64(i)
-		p.pairs = p.pairs[i:]
+		mPoolExpired.Add(int64(i))
+		// Copy the live suffix down instead of re-slicing forward: a
+		// forward re-slice keeps the expired prefix alive in the backing
+		// array (and shrinks usable capacity) until the next realloc, which
+		// a long-running service may never trigger.
+		n := copy(p.pairs, p.pairs[i:])
+		p.pairs = p.pairs[:n]
 	}
 }
 
@@ -80,7 +109,64 @@ func (p *Pool) TryConsume(now time.Duration) (float64, bool) {
 	pair := p.pairs[len(p.pairs)-1]
 	p.pairs = p.pairs[:len(p.pairs)-1]
 	p.stats.Consumed++
-	return pair.VisibilityAt(now, p.QNIC), true
+	mPoolConsumed.Inc()
+	v := pair.VisibilityAt(now, p.QNIC)
+	if p.extraRate != 0 {
+		from := p.extraSince
+		if pair.ArrivedAt > from {
+			from = pair.ArrivedAt
+		}
+		if now > from {
+			v *= math.Exp(-float64(now-from) * p.extraRate)
+		}
+	}
+	return v, true
+}
+
+// SetT2Scale sets the pool's effective coherence time to scale·CoherenceT2
+// from now on — the QNIC decoherence-spike fault (scale < 1 means faster
+// decay; 1 restores nominal). Decay already accumulated under the previous
+// scale is folded into the stored pairs' V0, so each pair's visibility is
+// the exact piecewise-exponential of the decay rates it lived through.
+// Expiry (StorageLimit) is unaffected: the QNIC discards on a wall clock,
+// not on fidelity.
+func (p *Pool) SetT2Scale(now time.Duration, scale float64) {
+	if scale <= 0 {
+		panic("entangle: T2 scale must be positive")
+	}
+	p.absorbExtraDecay(now)
+	t2 := float64(p.QNIC.CoherenceT2)
+	p.extraRate = 1/(t2*scale) - 1/t2
+	p.extraSince = now
+}
+
+// absorbExtraDecay folds the extra (spike) decay accumulated since the last
+// scale change into each stored pair's V0.
+func (p *Pool) absorbExtraDecay(now time.Duration) {
+	if p.extraRate == 0 {
+		return
+	}
+	for i := range p.pairs {
+		from := p.extraSince
+		if p.pairs[i].ArrivedAt > from {
+			from = p.pairs[i].ArrivedAt
+		}
+		if now > from {
+			p.pairs[i].V0 *= math.Exp(-float64(now-from) * p.extraRate)
+		}
+	}
+}
+
+// Flush drops every stored pair — the pool-corruption fault (e.g. a QNIC
+// reset losing its quantum memory). Returns the number of pairs lost.
+func (p *Pool) Flush() int {
+	n := len(p.pairs)
+	if n > 0 {
+		p.pairs = p.pairs[:0]
+		p.stats.Flushed += int64(n)
+		mPoolFlushed.Add(int64(n))
+	}
+	return n
 }
 
 // Stats returns lifecycle counters.

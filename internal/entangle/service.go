@@ -1,23 +1,41 @@
 package entangle
 
 import (
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/xrand"
 )
 
 // ServiceStats counts source-side events.
 type ServiceStats struct {
-	Generated int64 // pairs emitted by the source
-	LostFiber int64 // pairs losing ≥1 photon in fiber
-	Delivered int64 // pairs that reached both QNICs
-	Rejected  int64 // pairs dropped because the pool was full
+	Generated        int64 // pairs emitted by the source
+	LostFiber        int64 // pairs losing ≥1 photon in fiber
+	Delivered        int64 // pairs that reached both QNICs
+	Rejected         int64 // pairs dropped because the pool was full
+	Suppressed       int64 // generation ticks skipped while the source was down
+	DroppedAfterStop int64 // in-flight pairs discarded because Stop preceded arrival
 }
+
+// Source-side counters, aggregated process-wide in the default metrics
+// registry (see the pool counters above for the instrumentation contract).
+var (
+	mSvcGenerated  = metrics.Default().Counter("entangle_source_generated_total")
+	mSvcLostFiber  = metrics.Default().Counter("entangle_source_lost_fiber_total")
+	mSvcDelivered  = metrics.Default().Counter("entangle_source_delivered_total")
+	mSvcRejected   = metrics.Default().Counter("entangle_source_rejected_total")
+	mSvcSuppressed = metrics.Default().Counter("entangle_source_suppressed_total")
+	mSvcDropped    = metrics.Default().Counter("entangle_source_dropped_after_stop_total")
+)
 
 // Service drives a Pool from an SPDC source on a discrete-event engine:
 // every source interval a pair is emitted; with the fiber's delivery
 // probability it survives both arms and is stored at both QNICs after the
 // propagation delay. This is the "continuous stream of entangled qubits
 // distributed in advance" of Figure 2.
+//
+// The fault hooks (SetOutage, SetDeliveryScale) model the supply-chain
+// failures a production deployment must survive — see internal/faults for
+// the deterministic injector that drives them.
 type Service struct {
 	Source SourceConfig
 	Pool   *Pool
@@ -26,6 +44,12 @@ type Service struct {
 	rng    *xrand.RNG
 	stats  ServiceStats
 	cancel func()
+
+	stopped bool
+	outage  bool
+	// deliveryScale multiplies the fiber delivery probability (1 nominal);
+	// fiber-loss bursts and repeater BSM-failure windows collapse it.
+	deliveryScale float64
 }
 
 // StartService begins pair distribution on the engine. Call Stop to end it.
@@ -33,29 +57,68 @@ func StartService(e *netsim.Engine, src SourceConfig, pool *Pool, rng *xrand.RNG
 	if err := src.Validate(); err != nil {
 		panic(err)
 	}
-	s := &Service{Source: src, Pool: pool, engine: e, rng: rng}
+	s := &Service{Source: src, Pool: pool, engine: e, rng: rng, deliveryScale: 1}
 	delivery := src.DeliveryProbability()
 	propagation := src.PropagationDelay()
 	s.cancel = e.Every(src.Interval(), func() {
+		if s.outage {
+			s.stats.Suppressed++
+			mSvcSuppressed.Inc()
+			return
+		}
 		s.stats.Generated++
-		if !rng.Bool(delivery) {
+		mSvcGenerated.Inc()
+		p := delivery * s.deliveryScale
+		if !rng.Bool(p) {
 			s.stats.LostFiber++
+			mSvcLostFiber.Inc()
 			return
 		}
 		e.Schedule(propagation, func() {
+			// A propagation callback scheduled before Stop may fire after
+			// it; a stopped source must be silent, so the photons are
+			// discarded at the QNIC instead of mutating a pool the owner
+			// believes quiescent.
+			if s.stopped {
+				s.stats.DroppedAfterStop++
+				mSvcDropped.Inc()
+				return
+			}
 			pair := Pair{ArrivedAt: e.Now(), V0: src.BaseVisibility}
 			if pool.Add(pair) {
 				s.stats.Delivered++
+				mSvcDelivered.Inc()
 			} else {
 				s.stats.Rejected++
+				mSvcRejected.Inc()
 			}
 		})
 	})
 	return s
 }
 
-// Stop halts the source.
-func (s *Service) Stop() { s.cancel() }
+// Stop halts the source. Pairs already in flight are discarded on arrival
+// (counted as DroppedAfterStop), so after Stop the pool never changes.
+func (s *Service) Stop() {
+	s.stopped = true
+	s.cancel()
+}
+
+// SetOutage switches the source off (down=true) or back on — the
+// MTBF/MTTR source-outage fault. While down, generation ticks are counted
+// as Suppressed and nothing enters the fiber.
+func (s *Service) SetOutage(down bool) { s.outage = down }
+
+// SetDeliveryScale multiplies the fiber delivery probability by f ∈ [0, 1]
+// from the next generation tick on (1 restores nominal). Fiber-loss bursts
+// set it directly; repeater BSM-failure windows set it to the chain's
+// success-probability collapse.
+func (s *Service) SetDeliveryScale(f float64) {
+	if f < 0 || f > 1 {
+		panic("entangle: delivery scale must lie in [0,1]")
+	}
+	s.deliveryScale = f
+}
 
 // Stats returns source-side counters.
 func (s *Service) Stats() ServiceStats { return s.stats }

@@ -1,4 +1,4 @@
-// Package experiments holds the paper's sixteen experiments (E1–E16) as
+// Package experiments holds the paper's seventeen experiments (E1–E17) as
 // self-contained, writer-directed jobs, plus the parallel runner that
 // regenerates them all. cmd/repro is a thin CLI over RunAll; cmd/bench
 // times the same jobs individually to track the performance trajectory.
@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ecmp"
 	"repro/internal/entangle"
+	"repro/internal/faults"
 	"repro/internal/games"
 	"repro/internal/loadbalance"
 	"repro/internal/metrics"
@@ -65,7 +66,7 @@ type Experiment struct {
 	Run   func(w io.Writer, o Options)
 }
 
-// All returns the experiments in their E1–E16 presentation order.
+// All returns the experiments in their E1–E17 presentation order.
 func All() []Experiment {
 	return []Experiment{
 		{"E1", "E1: CHSH values (§2)", e1},
@@ -84,6 +85,7 @@ func All() []Experiment {
 		{"E14", "E14: W-state leader election (a further primitive, per the conclusion)", e14},
 		{"E15", "E15: noise-adaptive measurement (anisotropic channels)", e15},
 		{"E16", "E16: E91 quantum key distribution (refs [24,45] on our substrate)", e16},
+		{"E17", "E17: chaos — fault injection and graceful degradation", e17},
 	}
 }
 
@@ -95,11 +97,11 @@ type Timing struct {
 
 // RunAll regenerates every experiment, fanning them out over `workers`
 // goroutines (<= 0 means the parallel package default) while emitting each
-// experiment's output block to w in E1..E16 order as soon as it and all of
+// experiment's output block to w in E1..E17 order as soon as it and all of
 // its predecessors have finished. Output bytes are identical at any worker
 // count.
 //
-// Each experiment's wall time is returned in E1..E16 order and recorded in
+// Each experiment's wall time is returned in E1..E17 order and recorded in
 // the default metrics registry (experiment_wall{id=...} timers plus an
 // experiments_completed counter), so a -metrics artifact written after the
 // run carries the per-experiment breakdown.
@@ -421,4 +423,116 @@ func e16(w io.Writer, o Options) {
 	}
 	fmt.Fprintln(w, "the CHSH test that powers the load balancer doubles as the security test:")
 	fmt.Fprintln(w, "any eavesdropper breaks entanglement, S collapses to ≤ 2, the key is discarded")
+}
+
+func e17(w io.Writer, o Options) {
+	// Part 1: a full chaos run through the engine-driven supply chain — the
+	// fault injector replays one phase per fault kind against a resilient
+	// session; the paired classical floor must hold in every phase.
+	res, err := core.RunChaos(core.ChaosConfig{
+		Game:    games.NewColocationCHSH(),
+		Source:  entangle.DefaultSource(),
+		QNIC:    entangle.DefaultQNIC(),
+		PoolCap: 64,
+		Chain:   &entangle.RepeaterChain{Segments: 4, Source: entangle.DefaultSource(), BSMSuccess: 0.5},
+		Phases:  core.DefaultChaosPhases(o.n(1500)),
+		Seed:    o.Seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Fprintln(w, "phase              fault              quantum  visibility  win-rate  classical  floor")
+	for _, p := range res.Phases {
+		floor := "held"
+		if p.Wins < p.ClassicalWins {
+			floor = "BROKEN"
+		}
+		vis := "-"
+		if p.QuantumRounds > 0 {
+			vis = fmt.Sprintf("%.4f", p.MeanVisibility)
+		}
+		fmt.Fprintf(w, "%-18s %-18s %.3f    %-10s  %.4f    %.4f     %s\n",
+			p.Name, p.Fault, p.QuantumFraction(), vis, p.WinRate(), p.ClassicalRate(), floor)
+	}
+	st := res.Session
+	fmt.Fprintf(w, "session: %d rounds, levels quantum/reopt/classical/random = %d/%d/%d/%d, retries %d\n",
+		st.Rounds, st.LevelRounds[0], st.LevelRounds[1], st.LevelRounds[2], st.LevelRounds[3], st.Retries)
+	fmt.Fprintf(w, "supply:  generated %d, fiber-lost %d, delivered %d, suppressed %d; pool expired %d, flushed %d\n",
+		res.Service.Generated, res.Service.LostFiber, res.Service.Delivered,
+		res.Service.Suppressed, res.Pool.Expired, res.Pool.Flushed)
+
+	// Part 2: the same fault timeline pressed onto the queueing simulator —
+	// an engine-less faults.Supplier thins a rated pair supply under a
+	// scripted outage while the load balancer runs at load 1.05; the mean
+	// queue tracks the fault phases but service never stops (the classical
+	// fallback keeps answering).
+	warmup, slots := o.n(1000), o.n(4000)
+	third := time.Duration(slots/3) * time.Millisecond
+	start := time.Duration(warmup) * time.Millisecond
+	sched := faults.Schedule{Windows: []faults.Window{
+		{Kind: faults.KindSourceOutage, Start: start + third, End: start + 2*third},
+	}}
+	demand := float64(100/2) * 1000
+	sl := loadbalance.NewSupplyLimitedStrategy(
+		faults.NewSupplier(loadbalance.NewRatedSupplier(demand*2, 1.0, 64), sched),
+		time.Millisecond, xrand.New(o.Seed, 17))
+	rec := &loadbalance.SlotSeries{}
+	cfg := loadbalance.Config{
+		NumBalancers: 100, NumServers: 91, // load ≈ 1.1: the E6 regime where strategy quality moves the queue
+		Warmup: warmup, Slots: slots,
+		Discipline: loadbalance.BatchCFirst,
+		Workload:   workload.Bernoulli{PC: 0.5},
+		Seed:       o.Seed,
+		Recorder:   rec,
+	}
+	loadbalance.Run(cfg, sl)
+	// Per-phase statistics from the recorder: the queue mean directly, the
+	// colocation rate by differencing the cumulative tally at the phase
+	// boundaries (pair-rounds per slot are constant, so the counts cancel).
+	phase := func(lo, hi time.Duration) (coloc, queue float64) {
+		var cumLo, cumHi, nLo, nHi float64
+		var qSum, qN float64
+		for i, s := range rec.Slots {
+			if rec.Measured[i] != 1 {
+				continue
+			}
+			at := time.Duration(s) * time.Millisecond
+			if at < lo {
+				cumLo, nLo = rec.ColocationRate[i], nLo+1
+			}
+			if at < hi {
+				cumHi, nHi = rec.ColocationRate[i], nHi+1
+			} else {
+				break
+			}
+			if at >= lo {
+				qSum += rec.QueueTotal[i] / float64(cfg.NumServers)
+				qN++
+			}
+		}
+		if nHi > nLo {
+			coloc = (cumHi*nHi - cumLo*nLo) / (nHi - nLo)
+		}
+		if qN > 0 {
+			queue = qSum / qN
+		}
+		return coloc, queue
+	}
+	end := time.Duration(warmup+slots) * time.Millisecond
+	fmt.Fprintln(w, "queueing under the same outage (load ≈1.1, supply 2×):")
+	fmt.Fprintln(w, "  phase    colocation  mean queue")
+	for _, ph := range []struct {
+		name   string
+		lo, hi time.Duration
+	}{
+		{"before", start, start + third},
+		{"outage", start + third, start + 2*third},
+		{"after", start + 2*third, end},
+	} {
+		c, q := phase(ph.lo, ph.hi)
+		fmt.Fprintf(w, "  %-7s  %.4f      %.2f\n", ph.name, c, q)
+	}
+	fmt.Fprintf(w, "  quantum fraction %.3f over the full run\n", sl.QuantumFraction())
+	fmt.Fprintln(w, "degradation is graceful: colocation collapses to the classical 0.75 floor")
+	fmt.Fprintln(w, "during the outage — never below it — and snaps back when supply returns")
 }

@@ -1,0 +1,187 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestWindowValidate(t *testing.T) {
+	cases := []struct {
+		w  Window
+		ok bool
+	}{
+		{Window{Kind: KindSourceOutage, Start: 0, End: ms(1)}, true},
+		{Window{Kind: KindNone, Start: 0, End: ms(1)}, false},
+		{Window{Kind: Kind(99), Start: 0, End: ms(1)}, false},
+		{Window{Kind: KindSourceOutage, Start: ms(2), End: ms(1)}, false},
+		{Window{Kind: KindSourceOutage, Start: -ms(1), End: ms(1)}, false},
+		{Window{Kind: KindFiberLossBurst, Start: 0, End: ms(1), Severity: 0.5}, true},
+		{Window{Kind: KindFiberLossBurst, Start: 0, End: ms(1), Severity: 1.5}, false},
+		{Window{Kind: KindDecoherenceSpike, Start: 0, End: ms(1), Severity: 0}, false},
+		{Window{Kind: KindDecoherenceSpike, Start: 0, End: ms(1), Severity: 0.1}, true},
+		{Window{Kind: KindPoolFlush, Start: ms(1), End: ms(1)}, true},
+	}
+	for i, c := range cases {
+		if err := c.w.Validate(); (err == nil) != c.ok {
+			t.Errorf("case %d (%+v): err=%v, want ok=%v", i, c.w, err, c.ok)
+		}
+	}
+}
+
+func TestScheduleActiveAtComposesSeverities(t *testing.T) {
+	s := Schedule{Windows: []Window{
+		{Kind: KindFiberLossBurst, Start: ms(0), End: ms(10), Severity: 0.5},
+		{Kind: KindFiberLossBurst, Start: ms(5), End: ms(15), Severity: 0.4},
+	}}
+	if on, sev := s.ActiveAt(KindFiberLossBurst, ms(7)); !on || sev != 0.2 {
+		t.Fatalf("overlap: on=%v sev=%v, want true 0.2", on, sev)
+	}
+	if on, sev := s.ActiveAt(KindFiberLossBurst, ms(12)); !on || sev != 0.4 {
+		t.Fatalf("tail: on=%v sev=%v, want true 0.4", on, sev)
+	}
+	// End is exclusive.
+	if on, _ := s.ActiveAt(KindFiberLossBurst, ms(15)); on {
+		t.Fatal("window end must be exclusive")
+	}
+	if on, sev := s.ActiveAt(KindSourceOutage, ms(7)); on || sev != 1 {
+		t.Fatalf("wrong kind: on=%v sev=%v", on, sev)
+	}
+}
+
+func TestSupplyAndVisibilityFactors(t *testing.T) {
+	s := Schedule{Windows: []Window{
+		{Kind: KindSourceOutage, Start: ms(0), End: ms(1)},
+		{Kind: KindFiberLossBurst, Start: ms(2), End: ms(3), Severity: 0.5},
+		{Kind: KindBSMFailure, Start: ms(2), End: ms(4), Severity: 0.4},
+		{Kind: KindDecoherenceSpike, Start: ms(5), End: ms(6), Severity: 0.3},
+	}}
+	if f := s.SupplyFactor(ms(0)); f != 0 {
+		t.Fatalf("outage supply factor = %v", f)
+	}
+	if f := s.SupplyFactor(ms(2)); f != 0.2 {
+		t.Fatalf("burst×bsm supply factor = %v, want 0.2", f)
+	}
+	if f := s.SupplyFactor(ms(7)); f != 1 {
+		t.Fatalf("nominal supply factor = %v", f)
+	}
+	if f := s.VisibilityFactor(ms(5)); f != 0.3 {
+		t.Fatalf("spike visibility factor = %v", f)
+	}
+	if f := s.VisibilityFactor(ms(4)); f != 1 {
+		t.Fatalf("nominal visibility factor = %v", f)
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	profiles := []Profile{
+		{Kind: KindSourceOutage, MTBF: ms(10), MTTR: ms(2)},
+		{Kind: KindFiberLossBurst, MTBF: ms(7), MTTR: ms(3), Severity: 0.1},
+		{Kind: KindPoolFlush, MTBF: ms(20)},
+	}
+	a := Generate(42, profiles, ms(500))
+	b := Generate(42, profiles, ms(500))
+	if len(a.Windows) != len(b.Windows) {
+		t.Fatalf("window counts differ: %d vs %d", len(a.Windows), len(b.Windows))
+	}
+	for i := range a.Windows {
+		if a.Windows[i] != b.Windows[i] {
+			t.Fatalf("window %d differs: %+v vs %+v", i, a.Windows[i], b.Windows[i])
+		}
+	}
+	if len(a.Windows) == 0 {
+		t.Fatal("a 500ms horizon with 10ms MTBFs should produce windows")
+	}
+	if c := Generate(43, profiles, ms(500)); len(c.Windows) == len(a.Windows) {
+		same := true
+		for i := range c.Windows {
+			if c.Windows[i] != a.Windows[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical timelines")
+		}
+	}
+}
+
+func TestGenerateRespectsHorizonAndOrder(t *testing.T) {
+	profiles := []Profile{
+		{Kind: KindSourceOutage, MTBF: ms(5), MTTR: ms(5)},
+		{Kind: KindDecoherenceSpike, MTBF: ms(6), MTTR: ms(4), Severity: 0.2},
+	}
+	horizon := ms(200)
+	s := Generate(1, profiles, horizon)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("generated schedule invalid: %v", err)
+	}
+	prev := time.Duration(-1)
+	for _, w := range s.Windows {
+		if w.Start < prev {
+			t.Fatalf("windows not sorted by start: %v after %v", w.Start, prev)
+		}
+		prev = w.Start
+		if w.Start >= horizon || w.End > horizon {
+			t.Fatalf("window %+v exceeds horizon %v", w, horizon)
+		}
+	}
+}
+
+func TestGeneratePerProfileStreamsIndependent(t *testing.T) {
+	// Adding a profile must not change the windows the first profile draws:
+	// each profile derives its own stream from the base seed.
+	p0 := Profile{Kind: KindSourceOutage, MTBF: ms(10), MTTR: ms(2)}
+	solo := Generate(9, []Profile{p0}, ms(300))
+	both := Generate(9, []Profile{p0, {Kind: KindPoolFlush, MTBF: ms(15)}}, ms(300))
+	var outages []Window
+	for _, w := range both.Windows {
+		if w.Kind == KindSourceOutage {
+			outages = append(outages, w)
+		}
+	}
+	if len(outages) != len(solo.Windows) {
+		t.Fatalf("outage count changed when a profile was added: %d vs %d", len(outages), len(solo.Windows))
+	}
+	for i := range outages {
+		if outages[i] != solo.Windows[i] {
+			t.Fatalf("outage window %d changed: %+v vs %+v", i, outages[i], solo.Windows[i])
+		}
+	}
+}
+
+func TestGenerateValidatesProfiles(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Generate with a zero-MTBF profile should panic")
+		}
+	}()
+	Generate(1, []Profile{{Kind: KindSourceOutage, MTTR: ms(1)}}, ms(10))
+}
+
+func TestTimelineRendersEveryWindow(t *testing.T) {
+	s := Schedule{Windows: []Window{
+		{Kind: KindPoolFlush, Start: ms(3), End: ms(3)},
+		{Kind: KindSourceOutage, Start: ms(1), End: ms(2)},
+	}}
+	out := s.Timeline()
+	if !strings.Contains(out, "source-outage") || !strings.Contains(out, "pool-flush") {
+		t.Fatalf("timeline missing windows:\n%s", out)
+	}
+	if strings.Index(out, "source-outage") > strings.Index(out, "pool-flush") {
+		t.Fatalf("timeline not sorted by start:\n%s", out)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindNone; k < numKinds; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "Kind(") {
+			t.Fatalf("kind %d has no name", int(k))
+		}
+	}
+	if NumKinds != 5 {
+		t.Fatalf("NumKinds = %d, want 5", NumKinds)
+	}
+}

@@ -1,0 +1,123 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/entangle"
+)
+
+// queueSupplier is a finite FIFO of visibilities for exercising the wrapper.
+type queueSupplier struct{ vs []float64 }
+
+func (q *queueSupplier) TryConsume(time.Duration) (float64, bool) {
+	if len(q.vs) == 0 {
+		return 0, false
+	}
+	v := q.vs[0]
+	q.vs = q.vs[1:]
+	return v, true
+}
+
+func fill(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestSupplierOutageStarves(t *testing.T) {
+	sched := Schedule{Windows: []Window{
+		{Kind: KindSourceOutage, Start: ms(10), End: ms(20)},
+	}}
+	s := NewSupplier(&queueSupplier{vs: fill(100, 0.9)}, sched)
+	if _, ok := s.TryConsume(ms(5)); !ok {
+		t.Fatal("nominal consumption failed")
+	}
+	if _, ok := s.TryConsume(ms(15)); ok {
+		t.Fatal("consumption succeeded during an outage")
+	}
+	if v, ok := s.TryConsume(ms(25)); !ok || v != 0.9 {
+		t.Fatalf("post-outage consume: %v %v", v, ok)
+	}
+}
+
+func TestSupplierThinsDeterministically(t *testing.T) {
+	// Severity 0.25: each delivered pair costs 4 from the inner supplier
+	// (3 burned + 1 delivered). 100 inner pairs → exactly 25 deliveries.
+	sched := Schedule{Windows: []Window{
+		{Kind: KindFiberLossBurst, Start: 0, End: time.Hour, Severity: 0.25},
+	}}
+	s := NewSupplier(&queueSupplier{vs: fill(100, 0.9)}, sched)
+	delivered := 0
+	for i := 0; i < 1000; i++ {
+		if _, ok := s.TryConsume(ms(1)); ok {
+			delivered++
+		}
+	}
+	if delivered != 25 {
+		t.Fatalf("delivered %d of 100 at severity 0.25, want exactly 25", delivered)
+	}
+}
+
+func TestSupplierVisibilityScaledDuringSpike(t *testing.T) {
+	sched := Schedule{Windows: []Window{
+		{Kind: KindDecoherenceSpike, Start: ms(10), End: ms(20), Severity: 0.5},
+	}}
+	s := NewSupplier(entangle.PerfectSupplier{Visibility: 0.8}, sched)
+	if v, _ := s.TryConsume(ms(5)); v != 0.8 {
+		t.Fatalf("nominal visibility %v", v)
+	}
+	if v, _ := s.TryConsume(ms(15)); v != 0.4 {
+		t.Fatalf("spiked visibility %v, want 0.4", v)
+	}
+	if v, _ := s.TryConsume(ms(25)); v != 0.8 {
+		t.Fatalf("restored visibility %v", v)
+	}
+}
+
+func TestSupplierFlushDrainsOnce(t *testing.T) {
+	sched := Schedule{Windows: []Window{
+		{Kind: KindPoolFlush, Start: ms(10), End: ms(10)},
+	}}
+	inner := &queueSupplier{vs: fill(10, 0.9)}
+	s := NewSupplier(inner, sched)
+	if _, ok := s.TryConsume(ms(1)); !ok {
+		t.Fatal("pre-flush consume failed")
+	}
+	// First consume past the flush instant drains the 9 remaining pairs.
+	if _, ok := s.TryConsume(ms(11)); ok {
+		t.Fatal("consume right after the flush should find nothing")
+	}
+	if len(inner.vs) != 0 {
+		t.Fatalf("flush left %d pairs in the inner supplier", len(inner.vs))
+	}
+	// The flush applies once: refilled supply flows again.
+	inner.vs = fill(3, 0.7)
+	if v, ok := s.TryConsume(ms(12)); !ok || v != 0.7 {
+		t.Fatalf("post-flush consume: %v %v", v, ok)
+	}
+}
+
+func TestSupplierFlushBoundedOnInfiniteInner(t *testing.T) {
+	sched := Schedule{Windows: []Window{
+		{Kind: KindPoolFlush, Start: ms(10), End: ms(10)},
+	}}
+	s := NewSupplier(entangle.PerfectSupplier{Visibility: 1}, sched)
+	// Must terminate despite the inner supplier never running dry.
+	if _, ok := s.TryConsume(ms(11)); !ok {
+		t.Fatal("perfect supplier should still deliver after a bounded drain")
+	}
+}
+
+func TestSupplierValidatesSchedule(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSupplier with an invalid schedule should panic")
+		}
+	}()
+	NewSupplier(entangle.PerfectSupplier{Visibility: 1}, Schedule{Windows: []Window{
+		{Kind: KindFiberLossBurst, Start: 0, End: ms(1), Severity: 2},
+	}})
+}

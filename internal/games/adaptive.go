@@ -165,6 +165,47 @@ func conditionalOnBobInto(t *linalg.Mat, rho *qsim.Density, a *linalg.Mat) *lina
 	return t
 }
 
+// BehaviorOnState evaluates the behavior P[x][y][a][b] of binary-output
+// projective measurements (alice[x], bob[y]) on an arbitrary shared
+// two-qubit state: P = Tr[(A^x_a ⊗ B^y_b) ρ].
+func BehaviorOnState(rho *qsim.Density, alice, bob []*linalg.Mat) [][][][]float64 {
+	if rho.NumQubits != 2 {
+		panic("games: BehaviorOnState needs a two-qubit state")
+	}
+	effA := linalg.NewMat(2, 2)
+	effB := linalg.NewMat(2, 2)
+	full := linalg.NewMat(4, 4)
+	p := make([][][][]float64, len(alice))
+	for x := range alice {
+		p[x] = make([][][]float64, len(bob))
+		for y := range bob {
+			p[x][y] = [][]float64{make([]float64, 2), make([]float64, 2)}
+			for a := 0; a < 2; a++ {
+				for b := 0; b < 2; b++ {
+					linalg.KronInto(full, bobEffectInto(effA, alice[x], a), bobEffectInto(effB, bob[y], b))
+					p[x][y][a][b] = real(linalg.TraceMul(rho.Rho, full))
+				}
+			}
+		}
+	}
+	return p
+}
+
+// ReoptimizedSampler is the degradation ladder's second rung: when the
+// delivered visibility sags, the session re-optimizes its measurement
+// operators for the certified Werner channel at the measured visibility
+// (see-saw on the actual state, the E15 machinery) and plays the resulting
+// behavior. For isotropic (Werner) noise this recovers the fixed-angle
+// value — the gain appears under anisotropic channels — but it guarantees
+// the played strategy is the best the certified state supports. Returns
+// the sampler and its exact value on the state.
+func ReoptimizedSampler(g *XORGame, visibility float64, rng *xrand.RNG) (JointSampler, float64) {
+	gg := FromXOR(g)
+	rho := qsim.Werner(visibility)
+	res := gg.SeeSawOnState(rho, rng)
+	return &TableSampler{P: BehaviorOnState(rho, res.AliceProj, res.BobProj)}, res.Value
+}
+
 // AdaptiveGain quantifies how much re-optimizing the measurements for the
 // actual noisy state recovers over playing the noiseless-optimal angles:
 // it returns (fixed-angle value, adapted value) of the game on the state.

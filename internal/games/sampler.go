@@ -176,6 +176,25 @@ func (bs *BellSampler) ExactValue(g *XORGame) float64 {
 	return v
 }
 
+// TableSampler draws jointly from an explicit behavior table
+// P[x][y][a][b] (binary outputs). It is the generic carrier for strategies
+// produced numerically — e.g. measurements re-optimized for a certified
+// noisy state — whose statistics fit no closed form.
+type TableSampler struct {
+	P [][][][]float64
+
+	w [4]float64 // scratch for the per-round categorical draw
+}
+
+// Sample draws one round from the table.
+func (t *TableSampler) Sample(x, y int, rng RoundRNG) (a, b int) {
+	p := t.P[x][y]
+	t.w[0], t.w[1] = p[0][0], p[0][1]
+	t.w[2], t.w[3] = p[1][0], p[1][1]
+	o := rng.Categorical(t.w[:])
+	return o >> 1, o & 1
+}
+
 // ColocationDecision wraps a sampler into the §4.1 load-balancer view:
 // inputs are task types (true = type-C), outputs are "send to server 0 or 1
 // of the agreed pair"; the pair succeeds when servers match iff both tasks

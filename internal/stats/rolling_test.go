@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRollingMeanTracksWindow(t *testing.T) {
+	r := NewRolling(4)
+	if r.Mean() != 0 || r.Count() != 0 || r.Full() {
+		t.Fatalf("fresh window not empty: %+v", r)
+	}
+	for i, x := range []float64{1, 2, 3} {
+		r.Add(x)
+		if r.Count() != i+1 {
+			t.Fatalf("count = %d after %d adds", r.Count(), i+1)
+		}
+	}
+	if math.Abs(r.Mean()-2) > 1e-12 {
+		t.Fatalf("partial mean = %v, want 2", r.Mean())
+	}
+	r.Add(4)
+	if !r.Full() || math.Abs(r.Mean()-2.5) > 1e-12 {
+		t.Fatalf("full mean = %v (full=%v), want 2.5", r.Mean(), r.Full())
+	}
+	// Eviction: the 1 falls out, mean over {2,3,4,10}.
+	r.Add(10)
+	if r.Count() != 4 || math.Abs(r.Mean()-4.75) > 1e-12 {
+		t.Fatalf("post-eviction mean = %v, want 4.75", r.Mean())
+	}
+	if r.Window() != 4 {
+		t.Fatalf("window = %d", r.Window())
+	}
+}
+
+func TestRollingEvictsExactly(t *testing.T) {
+	r := NewRolling(3)
+	for i := 0; i < 100; i++ {
+		r.Add(float64(i))
+	}
+	want := float64(97+98+99) / 3
+	if math.Abs(r.Mean()-want) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", r.Mean(), want)
+	}
+}
+
+func TestRollingPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRolling(0) should panic")
+		}
+	}()
+	NewRolling(0)
+}
