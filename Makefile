@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify race lint bench bench-report bench-solvers bench-solvers-baseline repro clean
+.PHONY: build test verify race lint bench bench-report bench-solvers bench-solvers-baseline repro soak clean
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,14 @@ bench-solvers-baseline:
 
 repro:
 	$(GO) run ./cmd/repro
+
+# Kill/resume soak: storm the E1–E17 sweep with schedule-drawn kills,
+# resume from the crash-safe checkpoint each time, and require the
+# converged output to be byte-identical to an uninterrupted run. The log
+# lands in soak.log (uploaded as a CI artifact). Short budget by default;
+# crank -cycles/-scale for a longer burn.
+soak: build
+	$(GO) run ./cmd/soak -cycles 3 -scale 0.05 > soak.log 2>&1; s=$$?; cat soak.log; exit $$s
 
 clean:
 	$(GO) clean ./...

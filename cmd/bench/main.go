@@ -13,16 +13,25 @@
 // Speedups scale with GOMAXPROCS; on a single-core machine they hover near
 // 1.0 and the hot-path numbers carry the story. The report records both so
 // results from different machines stay comparable.
+//
+// Long bench runs are supervised by the run control plane: -timeout bounds
+// the whole run, and SIGINT/SIGTERM stops after the pass in flight instead
+// of dying mid-measurement. Either way the passes already measured are
+// written out as a partial report whose "interrupted" field records why the
+// run stopped early.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"testing"
 	"time"
 
@@ -31,6 +40,7 @@ import (
 	"repro/internal/loadbalance"
 	"repro/internal/metrics"
 	"repro/internal/parallel"
+	"repro/internal/run"
 	"repro/internal/workload"
 	"repro/internal/xrand"
 )
@@ -60,6 +70,9 @@ type report struct {
 	TotalParallelMS float64            `json:"total_parallel_ms"`
 	TotalSpeedup    float64            `json:"total_speedup"`
 	Micro           []microBench       `json:"micro"`
+	// Interrupted records why a partial report stopped early (deadline or
+	// operator signal); empty for a complete run.
+	Interrupted string `json:"interrupted,omitempty"`
 }
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
@@ -88,6 +101,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "experiment scale factor")
 	workers := flag.Int("workers", 0, "pool width for the parallel pass (0 = GOMAXPROCS)")
 	solvers := flag.Bool("solvers", false, "benchmark the solver kernels only (flat vs reference) and write a solver report instead of the parallel one")
+	timeout := flag.Duration("timeout", 0, "whole-run deadline; passes measured so far are written as a partial report (0 = none)")
 	metricsPath := flag.String("metrics", "", "write a JSON metrics artifact for the whole bench run (- for stdout)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this path")
@@ -116,6 +130,13 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	// A bench pass is a timed measurement, so interruption is coarse: the
+	// controller is consulted between passes, never inside one — a pass
+	// either completes and is reported, or never starts.
+	ctrl := run.NewController(context.Background(), run.Config{Timeout: *timeout})
+	stopSignals := ctrl.HandleSignals(os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	w := *workers
 	if w <= 0 {
 		w = parallel.DefaultWorkers()
@@ -130,9 +151,12 @@ func main() {
 	}
 
 	for _, e := range experiments.All() {
-		run := func() { e.Run(io.Discard, opts) }
-		ser := timeRun(1, run)
-		par := timeRun(w, run)
+		if ctrl.Err() != nil {
+			break
+		}
+		pass := func() { e.Run(io.Discard, opts) }
+		ser := timeRun(1, pass)
+		par := timeRun(w, pass)
 		rep.Experiments = append(rep.Experiments, experimentTiming{
 			ID: e.ID, SerialMS: ms(ser), ParallelMS: ms(par), Speedup: speedup(ser, par),
 		})
@@ -140,17 +164,27 @@ func main() {
 			e.ID, ms(ser), w, ms(par), speedup(ser, par))
 	}
 
-	totalSer := timeRun(1, func() { experiments.RunAll(io.Discard, opts, 1) })
-	totalPar := timeRun(w, func() { experiments.RunAll(io.Discard, opts, w) })
-	rep.TotalSerialMS, rep.TotalParallelMS = ms(totalSer), ms(totalPar)
-	rep.TotalSpeedup = speedup(totalSer, totalPar)
-	fmt.Fprintf(os.Stderr, "E1-E16 end-to-end: serial %.1fms, parallel(%d) %.1fms, %.2fx\n",
-		ms(totalSer), w, ms(totalPar), rep.TotalSpeedup)
+	if ctrl.Err() == nil {
+		totalSer := timeRun(1, func() { experiments.RunAll(io.Discard, opts, 1) })
+		totalPar := timeRun(w, func() { experiments.RunAll(io.Discard, opts, w) })
+		rep.TotalSerialMS, rep.TotalParallelMS = ms(totalSer), ms(totalPar)
+		rep.TotalSpeedup = speedup(totalSer, totalPar)
+		fmt.Fprintf(os.Stderr, "E1-E16 end-to-end: serial %.1fms, parallel(%d) %.1fms, %.2fx\n",
+			ms(totalSer), w, ms(totalPar), rep.TotalSpeedup)
+	}
 
-	rep.Micro = microBenches()
-	for _, m := range rep.Micro {
-		fmt.Fprintf(os.Stderr, "%-24s %12.0f ns/op %8d B/op %6d allocs/op\n",
-			m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+	if ctrl.Err() == nil {
+		rep.Micro = microBenches()
+		for _, m := range rep.Micro {
+			fmt.Fprintf(os.Stderr, "%-24s %12.0f ns/op %8d B/op %6d allocs/op\n",
+				m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+		}
+	}
+
+	if err := ctrl.Err(); err != nil {
+		rep.Interrupted = err.Error()
+		fmt.Fprintf(os.Stderr, "bench interrupted: %v — writing partial report (%d/%d experiments measured)\n",
+			err, len(rep.Experiments), len(experiments.All()))
 	}
 
 	// The metrics artifact complements the bench report: the report carries
@@ -196,13 +230,20 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "-" {
 		os.Stdout.Write(enc)
-		return
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", *out)
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
+
+	if err := ctrl.Err(); err != nil {
+		if errors.Is(err, run.ErrCanceled) && !errors.Is(err, run.ErrDeadline) {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "wrote", *out)
 }
 
 func microBenches() []microBench {

@@ -5,19 +5,27 @@
 // server-discipline ablation, and (with -faults) the queueing half of the
 // E17 chaos experiment: a scripted entanglement-source outage pressed onto
 // the supply-limited quantum strategy.
+//
+// Long sweeps run under the internal/run control plane: Ctrl-C (or
+// -timeout) cancels between sweep units instead of killing the process
+// mid-write — completed series are still printed, the -csv/-series files
+// are flushed whole, and the exit status is the conventional 130/1.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/faults"
 	"repro/internal/loadbalance"
 	"repro/internal/report"
+	"repro/internal/run"
 	"repro/internal/stats"
 	"repro/internal/workload"
 	"repro/internal/xrand"
@@ -32,6 +40,7 @@ func main() {
 	noise := flag.Bool("noise", false, "run the E6 visibility sweep instead of the strategy comparison")
 	ablation := flag.Bool("ablation", false, "run the server-discipline ablation")
 	chaos := flag.Bool("faults", false, "run the E17 queueing-under-outage experiment")
+	timeout := flag.Duration("timeout", 0, "whole-run deadline (0 = none)")
 	loadsFlag := flag.String("loads", "0.5,0.7,0.85,0.95,1.0,1.05,1.1,1.15,1.2,1.25,1.3,1.4", "comma-separated N/M load points")
 	csvPath := flag.String("csv", "", "also write the Figure 4 series to this CSV file")
 	seriesPath := flag.String("series", "", "write the full Figure 4 knee curve (queue length AND delay, ±95% CI per strategy) to this CSV file")
@@ -49,15 +58,26 @@ func main() {
 		Seed:         *seed,
 	}
 
+	ctrl := run.NewController(context.Background(), run.Config{Timeout: *timeout})
+	stop := ctrl.HandleSignals(os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	switch {
 	case *chaos:
 		runFaultedQueue(base, *seed)
 	case *noise:
-		runNoiseSweep(base, loads, *seed)
+		runNoiseSweep(ctrl, base, loads, *seed)
 	case *ablation:
-		runDisciplineAblation(base, loads, *seed)
+		runDisciplineAblation(ctrl, base, loads, *seed)
 	default:
-		runFigure4(base, loads, *seed, *all)
+		runFigure4(ctrl, base, loads, *seed, *all)
+	}
+	if err := ctrl.Err(); err != nil {
+		fmt.Printf("\nsweep interrupted: %v (completed units were flushed)\n", err)
+		if err == run.ErrDeadline {
+			os.Exit(1)
+		}
+		os.Exit(130)
 	}
 }
 
@@ -73,7 +93,7 @@ func parseLoads(s string) []float64 {
 	return loads
 }
 
-func runFigure4(base loadbalance.Config, loads []float64, seed uint64, all bool) {
+func runFigure4(ctrl *run.Controller, base loadbalance.Config, loads []float64, seed uint64, all bool) {
 	fmt.Printf("=== E3 / Figure 4: mean queue length vs load (N=%d, P(C)=0.5, discipline=%v) ===\n\n",
 		base.NumBalancers, base.Discipline)
 
@@ -93,11 +113,23 @@ func runFigure4(base loadbalance.Config, loads []float64, seed uint64, all bool)
 		order = append(order, "round-robin", "power-of-two", "classical-paired", "dedicated", "oracle")
 	}
 
+	// One sweep per strategy; a cancellation between sweeps keeps the
+	// completed series (each a pure function of the seed) and drops the
+	// rest, so the table and CSVs below stay internally consistent.
 	series := map[string]stats.Series{}
 	delays := map[string]stats.Series{}
+	var swept []string
 	for _, name := range order {
+		if ctrl.Err() != nil {
+			break
+		}
 		series[name], delays[name] = loadbalance.SweepBoth(base, factories[name], loads)
+		swept = append(swept, name)
 	}
+	if len(swept) == 0 {
+		return
+	}
+	order = swept
 
 	header := "load(N/M)"
 	for _, name := range order {
@@ -242,24 +274,31 @@ func runFaultedQueue(base loadbalance.Config, seed uint64) {
 	fmt.Println("during the outage — never below it — and snaps back when supply returns")
 }
 
-func runNoiseSweep(base loadbalance.Config, loads []float64, seed uint64) {
+func runNoiseSweep(ctrl *run.Controller, base loadbalance.Config, loads []float64, seed uint64) {
 	fmt.Printf("=== E6: quantum load balancing under Werner noise (N=%d) ===\n\n", base.NumBalancers)
 	visibilities := []float64{1.0, 0.95, 0.9, 0.85, 0.8, 1 / math.Sqrt2}
+
+	qSeries := make([]stats.Series, 0, len(visibilities))
+	for j, v := range visibilities {
+		if ctrl.Err() != nil {
+			break
+		}
+		v := v
+		qSeries = append(qSeries, loadbalance.SweepLoad(base, func() loadbalance.Strategy {
+			return loadbalance.NewQuantumPairedStrategy(v, xrand.New(seed, uint64(j)+100))
+		}, loads))
+	}
+	if len(qSeries) == 0 {
+		return
+	}
+	visibilities = visibilities[:len(qSeries)]
+	cSeries := loadbalance.SweepLoad(base, func() loadbalance.Strategy { return loadbalance.RandomStrategy{} }, loads)
+
 	fmt.Print("load(N/M)")
 	for _, v := range visibilities {
 		fmt.Printf("   V=%.3f", v)
 	}
 	fmt.Println("   classical-random")
-
-	qSeries := make([]stats.Series, len(visibilities))
-	for j, v := range visibilities {
-		v := v
-		qSeries[j] = loadbalance.SweepLoad(base, func() loadbalance.Strategy {
-			return loadbalance.NewQuantumPairedStrategy(v, xrand.New(seed, uint64(j)+100))
-		}, loads)
-	}
-	cSeries := loadbalance.SweepLoad(base, func() loadbalance.Strategy { return loadbalance.RandomStrategy{} }, loads)
-
 	for i, load := range loads {
 		fmt.Printf("%-9.2f", load)
 		for j := range visibilities {
@@ -271,27 +310,36 @@ func runNoiseSweep(base loadbalance.Config, loads []float64, seed uint64) {
 	fmt.Println("classical 0.75 there, so the quantum curve degrades toward classical-paired behavior")
 }
 
-func runDisciplineAblation(base loadbalance.Config, loads []float64, seed uint64) {
+func runDisciplineAblation(ctrl *run.Controller, base loadbalance.Config, loads []float64, seed uint64) {
 	fmt.Printf("=== discipline ablation (footnote 2): quantum minus random queue length ===\n\n")
 	disciplines := []loadbalance.Discipline{
 		loadbalance.BatchCFirst, loadbalance.SingleCFirst, loadbalance.FIFOBatch, loadbalance.EFirst,
 	}
+
+	type pair struct{ q, c stats.Series }
+	var results []pair
+	for j, d := range disciplines {
+		if ctrl.Err() != nil {
+			break
+		}
+		cfg := base
+		cfg.Discipline = d
+		var p pair
+		p.q = loadbalance.SweepLoad(cfg, func() loadbalance.Strategy {
+			return loadbalance.NewQuantumPairedStrategy(1.0, xrand.New(seed, uint64(j)+200))
+		}, loads)
+		p.c = loadbalance.SweepLoad(cfg, func() loadbalance.Strategy { return loadbalance.RandomStrategy{} }, loads)
+		results = append(results, p)
+	}
+	if len(results) == 0 {
+		return
+	}
+	disciplines = disciplines[:len(results)]
 	fmt.Print("load(N/M)")
 	for _, d := range disciplines {
 		fmt.Printf("  %14v", d)
 	}
 	fmt.Println()
-
-	type pair struct{ q, c stats.Series }
-	results := make([]pair, len(disciplines))
-	for j, d := range disciplines {
-		cfg := base
-		cfg.Discipline = d
-		results[j].q = loadbalance.SweepLoad(cfg, func() loadbalance.Strategy {
-			return loadbalance.NewQuantumPairedStrategy(1.0, xrand.New(seed, uint64(j)+200))
-		}, loads)
-		results[j].c = loadbalance.SweepLoad(cfg, func() loadbalance.Strategy { return loadbalance.RandomStrategy{} }, loads)
-	}
 	for i, load := range loads {
 		fmt.Printf("%-9.2f", load)
 		for j := range disciplines {

@@ -1,40 +1,69 @@
-// Command repro runs every experiment end-to-end (E1–E16) with reduced but
+// Command repro runs every experiment end-to-end (E1–E17) with reduced but
 // statistically meaningful sizes and prints the consolidated tables recorded
 // in EXPERIMENTS.md. Use -full for publication-scale runs (slower), or the
 // per-experiment binaries (cmd/chsh, cmd/xorgame, cmd/qlbsim, cmd/ecmpstudy,
 // cmd/latency) for finer control.
 //
 // Independent experiments fan out over a worker pool (-workers, default
-// GOMAXPROCS); output is buffered per experiment and emitted in E1..E16
+// GOMAXPROCS); output is buffered per experiment and emitted in E1..E17
 // order, byte-identical at any worker count for a fixed seed.
 //
+// Resilience: the run is supervised by a control plane (internal/run).
+// SIGINT/SIGTERM drains gracefully — in-flight experiments get a moment to
+// land, the checkpoint and metrics artifact are flushed, and a second
+// signal force-exits. -timeout bounds the whole run and -exp-timeout each
+// experiment; -on-error picks what a failed experiment does to the rest
+// (fail | skip | retry). With -checkpoint the run snapshots every
+// completed block crash-safely, and -resume skips the snapshotted work:
+// because each experiment is a pure function of (seed, experiment number),
+// a resumed run's output is byte-identical to an uninterrupted one.
+//
 // Observability: -metrics out.json writes a structured run artifact (config,
-// seed, git describe, per-experiment wall times, solve-cache and worker-pool
-// counters — see README "Observability"); -cpuprofile/-memprofile write
-// standard pprof profiles of the run.
+// seed, git describe, per-experiment wall times, solve-cache, worker-pool
+// and run.* control-plane counters — see README "Observability");
+// -cpuprofile/-memprofile write standard pprof profiles of the run.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/parallel"
+	"repro/internal/run"
 )
 
 func main() {
 	full := flag.Bool("full", false, "publication-scale runs (slower)")
 	seed := flag.Uint64("seed", 42, "master seed")
 	workers := flag.Int("workers", 0, "worker goroutines for the experiment fan-out (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "whole-run deadline (0 = none)")
+	expTimeout := flag.Duration("exp-timeout", 0, "per-experiment deadline (0 = none)")
+	onErrorFlag := flag.String("on-error", "fail", "failed-experiment policy: fail, skip or retry")
+	checkpoint := flag.String("checkpoint", "", "snapshot completed experiments to this file (crash-safe)")
+	resume := flag.Bool("resume", false, "resume from -checkpoint, replaying completed experiments")
 	metricsPath := flag.String("metrics", "", "write a JSON run artifact to this path (- for stdout)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this path")
 	flag.Parse()
+
+	onError, err := run.ParseOnError(*onErrorFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(2)
+	}
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "repro: -resume needs -checkpoint")
+		os.Exit(2)
+	}
 
 	// Inner fan-outs (sweeps, advantage trials, quantum searches) share the
 	// same pool width as the experiment-level fan-out.
@@ -57,23 +86,58 @@ func main() {
 	if *full {
 		scale = 5
 	}
-	start := time.Now()
-	timings := experiments.RunAll(os.Stdout, experiments.Options{Seed: *seed, Scale: scale}, *workers)
-	wall := time.Since(start)
-	fmt.Printf("\nall experiments complete in %v\n", wall.Round(time.Millisecond))
 
+	ctrl := run.NewController(context.Background(), run.Config{
+		Timeout: *timeout,
+		OnError: onError,
+	})
+	stopSignals := ctrl.HandleSignals(os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	opts := experiments.Options{Seed: *seed, Scale: scale}
+	rc := experiments.RunConfig{
+		Workers:        *workers,
+		TaskTimeout:    *expTimeout,
+		OnError:        onError,
+		CheckpointPath: *checkpoint,
+		Resume:         *resume,
+	}
+	start := time.Now()
+	statuses, runErr := experiments.RunControlled(ctrl, os.Stdout, experiments.All(), opts, rc)
+	wall := time.Since(start)
+	if runErr != nil {
+		fmt.Printf("\nrun interrupted after %v: %v\n", wall.Round(time.Millisecond), runErr)
+		fmt.Printf("progress: %s\n", experiments.Summarize(statuses))
+		if *checkpoint != "" {
+			fmt.Printf("checkpoint flushed to %s — rerun with -resume -checkpoint %s to continue\n", *checkpoint, *checkpoint)
+		}
+	} else {
+		fmt.Printf("\nall experiments complete in %v\n", wall.Round(time.Millisecond))
+		if msg := experiments.Summarize(statuses); msg != fmt.Sprintf("%d/%d complete", len(statuses), len(statuses)) {
+			fmt.Printf("progress: %s\n", msg)
+		}
+	}
+
+	// The metrics artifact and heap profile flush even on an interrupted
+	// run — a partial artifact beats a missing one when diagnosing why a
+	// sweep died.
 	if *metricsPath != "" {
 		art := metrics.NewArtifact("repro")
 		art.Seed = *seed
 		art.Config = map[string]any{
-			"full":    *full,
-			"scale":   scale,
-			"workers": *workers,
+			"full":     *full,
+			"scale":    scale,
+			"workers":  *workers,
+			"on_error": onError.String(),
+			"resume":   *resume,
 		}
 		art.WallMS = float64(wall.Nanoseconds()) / 1e6
-		for _, t := range timings {
+		for _, s := range statuses {
+			if s.Err != nil {
+				continue
+			}
 			art.Experiments = append(art.Experiments, metrics.ExperimentMetrics{
-				ID: t.ID, WallMS: float64(t.Wall.Nanoseconds()) / 1e6,
+				ID: s.ID, WallMS: float64(s.Wall.Nanoseconds()) / 1e6,
 			})
 		}
 		art.Metrics = metrics.Default().Snapshot()
@@ -98,5 +162,20 @@ func main() {
 			os.Exit(1)
 		}
 		f.Close()
+	}
+
+	if runErr != nil {
+		// Conventional exit statuses: 130 for an operator interrupt, 1 for
+		// a failed or timed-out run.
+		if errors.Is(runErr, run.ErrCanceled) && !errors.Is(runErr, run.ErrDeadline) {
+			os.Exit(130)
+		}
+		os.Exit(1)
+	}
+	// -on-error=skip completes the run but must not mask failures.
+	for _, s := range statuses {
+		if s.Err != nil {
+			os.Exit(1)
+		}
 	}
 }

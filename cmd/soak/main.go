@@ -1,0 +1,159 @@
+// Command soak is the kill/resume soak harness for the run control plane:
+// it proves that a long experiment sweep survives repeated crashes without
+// losing or corrupting results.
+//
+// One soak cycle is a crash-recovery storm. The harness first records the
+// reference output of an uninterrupted E1–E17 sweep, then replays the sweep
+// under fire: kill instants are drawn from an internal/faults renewal
+// process (KindPoolFlush windows — instantaneous faults — over the cycle
+// horizon), each kill cancels the run mid-flight via the controller, and
+// the harness resumes from the crash-safe checkpoint until the sweep
+// completes. A cycle converges when the final resumed run's output is
+// byte-identical to the reference; any divergence, a checkpoint that fails
+// to load, or a cycle that exhausts its attempt budget fails the harness.
+//
+// The soak log (stdout) records, per cycle, the fault schedule, every
+// kill/resume attempt with how many slots were replayed, and the final
+// verdict — `make soak` tees it to soak.log for CI artifacts.
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/faults"
+	"repro/internal/run"
+	"repro/internal/xrand"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "master seed (experiments and fault schedules derive from it)")
+	scale := flag.Float64("scale", 0.05, "experiment scale factor (keep small: every cycle re-runs the suite)")
+	cycles := flag.Int("cycles", 3, "kill/resume storm cycles")
+	workers := flag.Int("workers", 4, "fan-out width for every run in the soak")
+	mtbf := flag.Duration("mtbf", 150*time.Millisecond, "mean time between injected kills within a cycle")
+	attempts := flag.Int("attempts", 25, "kill/resume attempts allowed per cycle before giving up")
+	flag.Parse()
+
+	o := experiments.Options{Seed: *seed, Scale: *scale}
+
+	fmt.Printf("soak: %d cycles, seed=%d scale=%g workers=%d kill MTBF=%v\n",
+		*cycles, *seed, *scale, *workers, *mtbf)
+
+	start := time.Now()
+	var reference bytes.Buffer
+	if _, err := experiments.RunResilient(context.Background(), &reference, experiments.All(), o,
+		experiments.RunConfig{Workers: *workers}); err != nil {
+		fmt.Fprintln(os.Stderr, "soak: reference run failed:", err)
+		os.Exit(1)
+	}
+	refWall := time.Since(start)
+	fmt.Printf("soak: reference sweep complete in %v (%d bytes)\n\n", refWall.Round(time.Millisecond), reference.Len())
+
+	dir, err := os.MkdirTemp("", "soak")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "soak:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+
+	failures := 0
+	for c := 1; c <= *cycles; c++ {
+		if err := soakCycle(c, dir, o, *workers, *mtbf, *attempts, refWall, reference.Bytes()); err != nil {
+			fmt.Printf("cycle %d: FAIL: %v\n\n", c, err)
+			failures++
+			continue
+		}
+		fmt.Printf("cycle %d: converged, byte-identical to reference\n\n", c)
+	}
+
+	fmt.Printf("soak: %d/%d cycles converged in %v\n", *cycles-failures, *cycles, time.Since(start).Round(time.Millisecond))
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// soakCycle runs one crash-recovery storm: kill the sweep at schedule-drawn
+// instants, resume from the checkpoint each time, and verify the completed
+// run reproduces the reference bytes.
+func soakCycle(cycle int, dir string, o experiments.Options, workers int, mtbf time.Duration,
+	maxAttempts int, refWall time.Duration, reference []byte) error {
+	// The kill schedule for this cycle is a renewal process over a horizon
+	// comfortably longer than one sweep, derived from (seed, cycle) so soak
+	// runs are reproducible: same seed, same storm.
+	horizon := 4 * refWall
+	if horizon < 2*time.Second {
+		horizon = 2 * time.Second
+	}
+	sched := faults.Generate(xrand.Derive(o.Seed, uint64(cycle)).Uint64(),
+		[]faults.Profile{{Kind: faults.KindPoolFlush, MTBF: mtbf, Severity: 1}}, horizon)
+	var kills []time.Duration
+	for _, w := range sched.Windows {
+		kills = append(kills, w.Start)
+	}
+	// Leave room in the attempt budget for clean convergence runs after the
+	// storm ends.
+	if budget := maxAttempts - 3; budget > 0 && len(kills) > budget {
+		kills = kills[:budget]
+	}
+	fmt.Printf("cycle %d: %d scheduled kills over %v: %v\n", cycle, len(kills), horizon.Round(time.Millisecond), kills)
+
+	ckpt := filepath.Join(dir, fmt.Sprintf("cycle%d.json", cycle))
+	killed := 0
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		// Next kill delay; once the schedule is exhausted the run proceeds
+		// unharmed and must complete.
+		var killAfter time.Duration
+		if killed < len(kills) {
+			killAfter = kills[killed] - func() time.Duration {
+				if killed == 0 {
+					return 0
+				}
+				return kills[killed-1]
+			}()
+			if killAfter <= 0 {
+				killAfter = time.Millisecond
+			}
+		}
+
+		ctrl := run.NewController(context.Background(), run.Config{Timeout: killAfter})
+		var out bytes.Buffer
+		statuses, err := experiments.RunControlled(ctrl, &out, experiments.All(), o,
+			experiments.RunConfig{Workers: workers, CheckpointPath: ckpt, Resume: attempt > 1})
+
+		var resumed, done int
+		for _, s := range statuses {
+			if s.Resumed {
+				resumed++
+			}
+			if s.Err == nil {
+				done++
+			}
+		}
+		if err == nil {
+			fmt.Printf("cycle %d: attempt %d complete after %d kills (%d slots replayed)\n",
+				cycle, attempt, killed, resumed)
+			if !bytes.Equal(out.Bytes(), reference) {
+				return fmt.Errorf("converged output differs from reference (%d vs %d bytes)", out.Len(), len(reference))
+			}
+			return nil
+		}
+		if !errors.Is(err, run.ErrDeadline) && !errors.Is(err, run.ErrCanceled) {
+			return fmt.Errorf("attempt %d died for a non-injected reason: %w", attempt, err)
+		}
+		killed++
+		fmt.Printf("cycle %d: attempt %d killed after %v (%d/%d done, %d replayed)\n",
+			cycle, attempt, killAfter, done, len(statuses), resumed)
+		if _, lerr := run.LoadCheckpoint(ckpt); lerr != nil && !os.IsNotExist(lerr) {
+			return fmt.Errorf("checkpoint unreadable after kill: %w", lerr)
+		}
+	}
+	return fmt.Errorf("no convergence within %d attempts (%d kills injected)", maxAttempts, killed)
+}

@@ -4,13 +4,29 @@
 // exclusive. The paper computed this with the Toqito Python package; here
 // the classical value is exact enumeration and the quantum value the
 // Tsirelson vector optimization.
+//
+// Each sweep point draws its game ensemble from its own derived stream
+// (xrand.New(seed, point-index)), which makes every point a pure function
+// of (seed, index) — the property the run control plane needs: -checkpoint
+// snapshots each completed point's row crash-safely, -resume replays the
+// snapshot and recomputes only the missing points (byte-identical to an
+// uninterrupted sweep), -timeout bounds the run, -on-error picks the
+// policy for a failed point, and Ctrl-C drains gracefully instead of
+// dying mid-table.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"os"
+	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/games"
+	"repro/internal/run"
 	"repro/internal/stats"
 	"repro/internal/xrand"
 )
@@ -22,67 +38,229 @@ func main() {
 	seed := flag.Uint64("seed", 2, "random seed")
 	gaps := flag.Bool("gaps", false, "also print mean classical/quantum values per point")
 	vertexSweep := flag.Bool("vertex-sweep", false, "sweep vertex count at p=0.5 (Figure 3 caption: probability increases with vertices)")
+	timeout := flag.Duration("timeout", 0, "whole-run deadline (0 = none)")
+	pointTimeout := flag.Duration("point-timeout", 0, "per-point deadline (0 = none)")
+	onErrorFlag := flag.String("on-error", "fail", "failed-point policy: fail, skip or retry")
+	checkpoint := flag.String("checkpoint", "", "snapshot completed sweep points to this file (crash-safe)")
+	resume := flag.Bool("resume", false, "resume from -checkpoint, replaying completed points")
 	flag.Parse()
 
-	rng := xrand.New(*seed, 0)
-	if *vertexSweep {
-		runVertexSweep(*trials, rng)
-		return
+	onError, err := run.ParseOnError(*onErrorFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xorgame:", err)
+		os.Exit(2)
 	}
-	fmt.Printf("=== E2 / Figure 3: P(quantum advantage) for random XOR games on K%d ===\n", *n)
-	fmt.Printf("%d labelings per point; advantage = quantum bias > classical bias + %g\n\n",
-		*trials, games.AdvantageTolerance)
-	if *gaps {
-		fmt.Println("p_exclusive   P(advantage)   [95% CI]          mean classical   mean quantum")
-	} else {
-		fmt.Println("p_exclusive   P(advantage)   [95% CI]")
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "xorgame: -resume needs -checkpoint")
+		os.Exit(2)
 	}
 
-	for p := 0.0; p <= 1.0+1e-9; p += *step {
-		var adv stats.Proportion
-		var cVal, qVal stats.Welford
-		// Draw the whole ensemble serially (keeping the rng stream identical
-		// to per-trial solving), then solve through the batch pipeline; the
-		// solves are pure functions of the games, so results land in trial
-		// order regardless of worker count.
-		gs := make([]*games.XORGame, *trials)
-		for t := range gs {
-			gs[t] = games.RandomGraphXORGame(*n, p, rng)
-		}
-		for _, r := range games.SolveBatch(gs, 0) {
-			adv.Add(r.HasAdvantage())
-			cVal.Add(r.Classical.Value)
-			qVal.Add(r.Quantum.Value)
-		}
-		lo, hi := adv.Wilson95()
-		if *gaps {
-			fmt.Printf("%.2f          %.3f          [%.3f, %.3f]    %.4f           %.4f\n",
-				p, adv.Rate(), lo, hi, cVal.Mean(), qVal.Mean())
-		} else {
-			fmt.Printf("%.2f          %.3f          [%.3f, %.3f]\n", p, adv.Rate(), lo, hi)
-		}
+	ctrl := run.NewController(context.Background(), run.Config{
+		Timeout:     *timeout,
+		TaskTimeout: *pointTimeout,
+		OnError:     onError,
+	})
+	stop := ctrl.HandleSignals(os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var sw sweep
+	if *vertexSweep {
+		sw = vertexSweepPlan(*trials, *seed)
+	} else {
+		sw = probabilitySweepPlan(*n, *trials, *step, *seed, *gaps)
 	}
-	fmt.Println("\nexpected shape: 0 at p=0 and p=1 (classically satisfiable labelings),")
-	fmt.Println("high probability in between — 'most graphs with randomly labeled edges")
-	fmt.Println("exhibit a quantum advantage, making it the typical case' (paper §4.1)")
+	code := runSweep(ctrl, sw, *checkpoint, *resume, onError)
+	os.Exit(code)
 }
 
-// runVertexSweep checks the Figure 3 caption: "The probability of achieving
-// a quantum advantage increases with the number of vertices."
-func runVertexSweep(trials int, rng *xrand.RNG) {
-	fmt.Println("=== Figure 3 caption: P(advantage) at p=0.5 vs vertex count ===")
-	fmt.Println("vertices   P(advantage)   [95% CI]")
-	for n := 3; n <= 7; n++ {
-		var adv stats.Proportion
-		gs := make([]*games.XORGame, trials)
-		for t := range gs {
-			gs[t] = games.RandomGraphXORGame(n, 0.5, rng)
-		}
-		for _, r := range games.SolveBatch(gs, 0) {
-			adv.Add(r.HasAdvantage())
-		}
-		lo, hi := adv.Wilson95()
-		fmt.Printf("%d          %.3f          [%.3f, %.3f]\n", n, adv.Rate(), lo, hi)
+// point is one checkpointable sweep unit: a pure function of its derived
+// stream that renders one or more table rows.
+type point struct {
+	id     string
+	stream uint64
+	render func(rng *xrand.RNG) string
+}
+
+// sweep is a full table: header, ordered points, footer.
+type sweep struct {
+	name        string // checkpoint fingerprint component
+	seed        uint64
+	header      string
+	footer      string
+	points      []point
+	fingerprint []any // extra identity beyond name/seed/point ids
+}
+
+// runSweep executes the points in order under the controller, streaming
+// rows as they land, checkpointing each completed point and replaying
+// snapshotted ones. Returns the process exit code.
+func runSweep(ctrl *run.Controller, sw sweep, ckptPath string, resume bool, onError run.OnError) int {
+	ids := make([]string, len(sw.points))
+	for i, p := range sw.points {
+		ids[i] = p.id
 	}
-	fmt.Println("\nexpected: monotone increase with n (paper's Figure 3 caption)")
+	fp := run.Fingerprint(append([]any{"xorgame", sw.name, sw.seed, strings.Join(ids, ",")}, sw.fingerprint...)...)
+	cp := run.NewCheckpoint("xorgame", sw.seed, fp)
+	if ckptPath != "" && resume {
+		loaded, err := run.LoadCheckpoint(ckptPath)
+		switch {
+		case err == nil:
+			if loaded.Fingerprint != fp {
+				fmt.Fprintf(os.Stderr, "xorgame: checkpoint %s was written by a different sweep; refusing to resume\n", ckptPath)
+				return 2
+			}
+			cp = loaded
+		case os.IsNotExist(err):
+		default:
+			fmt.Fprintln(os.Stderr, "xorgame:", err)
+			return 1
+		}
+	}
+
+	fmt.Print(sw.header)
+	var done, failed int
+	for _, p := range sw.points {
+		if ctrl.Err() != nil {
+			break
+		}
+		if slot, ok := cp.Done(p.id); ok {
+			run.TaskResumed()
+			fmt.Print(string(slot.Output))
+			done++
+			continue
+		}
+		var row string
+		var wall time.Duration
+		err := ctrl.Do(p.id, -1, func(*run.Task) error {
+			start := time.Now()
+			row = p.render(xrand.New(sw.seed, p.stream))
+			wall = time.Since(start)
+			return nil
+		})
+		if err != nil {
+			if errors.Is(err, run.ErrCanceled) {
+				break
+			}
+			failed++
+			fmt.Printf("<%s failed: %v>\n", p.id, err)
+			if onError == run.FailFast {
+				ctrl.CancelCause(err)
+				break
+			}
+			continue
+		}
+		fmt.Print(row)
+		done++
+		if ckptPath != "" {
+			cp.Record(run.Slot{ID: p.id, Stream: p.stream, Output: []byte(row), WallNS: int64(wall)})
+			if err := cp.Save(ckptPath); err != nil {
+				fmt.Fprintln(os.Stderr, "xorgame:", err)
+			}
+		}
+	}
+
+	if err := ctrl.Err(); err != nil {
+		fmt.Printf("\nsweep interrupted: %v — %d/%d points done", err, done, len(sw.points))
+		if ckptPath != "" {
+			fmt.Printf("; resume with -resume -checkpoint %s", ckptPath)
+		}
+		fmt.Println()
+		if errors.Is(err, run.ErrCanceled) && !errors.Is(err, run.ErrDeadline) && failed == 0 {
+			return 130
+		}
+		return 1
+	}
+	fmt.Print(sw.footer)
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// probabilitySweepPlan is the Figure 3 sweep over the exclusive-edge
+// probability; point i draws its ensemble from xrand.New(seed, i).
+func probabilitySweepPlan(n, trials int, step float64, seed uint64, gaps bool) sweep {
+	header := fmt.Sprintf("=== E2 / Figure 3: P(quantum advantage) for random XOR games on K%d ===\n", n) +
+		fmt.Sprintf("%d labelings per point; advantage = quantum bias > classical bias + %g\n\n",
+			trials, games.AdvantageTolerance)
+	if gaps {
+		header += "p_exclusive   P(advantage)   [95% CI]          mean classical   mean quantum\n"
+	} else {
+		header += "p_exclusive   P(advantage)   [95% CI]\n"
+	}
+	var points []point
+	idx := uint64(0)
+	for p := 0.0; p <= 1.0+1e-9; p += step {
+		p := p
+		points = append(points, point{
+			id:     fmt.Sprintf("p=%.2f", p),
+			stream: idx,
+			render: func(rng *xrand.RNG) string {
+				var adv stats.Proportion
+				var cVal, qVal stats.Welford
+				// Draw the whole ensemble serially (a pure function of this
+				// point's stream), then solve through the batch pipeline;
+				// solves are pure functions of the games, so results land in
+				// trial order regardless of worker count.
+				gs := make([]*games.XORGame, trials)
+				for t := range gs {
+					gs[t] = games.RandomGraphXORGame(n, p, rng)
+				}
+				for _, r := range games.SolveBatch(gs, 0) {
+					adv.Add(r.HasAdvantage())
+					cVal.Add(r.Classical.Value)
+					qVal.Add(r.Quantum.Value)
+				}
+				lo, hi := adv.Wilson95()
+				if gaps {
+					return fmt.Sprintf("%.2f          %.3f          [%.3f, %.3f]    %.4f           %.4f\n",
+						p, adv.Rate(), lo, hi, cVal.Mean(), qVal.Mean())
+				}
+				return fmt.Sprintf("%.2f          %.3f          [%.3f, %.3f]\n", p, adv.Rate(), lo, hi)
+			},
+		})
+		idx++
+	}
+	return sweep{
+		name: "figure3", seed: seed,
+		header: header,
+		footer: "\nexpected shape: 0 at p=0 and p=1 (classically satisfiable labelings),\n" +
+			"high probability in between — 'most graphs with randomly labeled edges\n" +
+			"exhibit a quantum advantage, making it the typical case' (paper §4.1)\n",
+		points:      points,
+		fingerprint: []any{n, trials, gaps},
+	}
+}
+
+// vertexSweepPlan checks the Figure 3 caption: "The probability of
+// achieving a quantum advantage increases with the number of vertices."
+func vertexSweepPlan(trials int, seed uint64) sweep {
+	var points []point
+	for n := 3; n <= 7; n++ {
+		n := n
+		points = append(points, point{
+			id:     fmt.Sprintf("n=%d", n),
+			stream: uint64(n),
+			render: func(rng *xrand.RNG) string {
+				var adv stats.Proportion
+				gs := make([]*games.XORGame, trials)
+				for t := range gs {
+					gs[t] = games.RandomGraphXORGame(n, 0.5, rng)
+				}
+				for _, r := range games.SolveBatch(gs, 0) {
+					adv.Add(r.HasAdvantage())
+				}
+				lo, hi := adv.Wilson95()
+				return fmt.Sprintf("%d          %.3f          [%.3f, %.3f]\n", n, adv.Rate(), lo, hi)
+			},
+		})
+	}
+	return sweep{
+		name: "vertex-sweep", seed: seed,
+		header: "=== Figure 3 caption: P(advantage) at p=0.5 vs vertex count ===\n" +
+			"vertices   P(advantage)   [95% CI]\n",
+		footer:      "\nexpected: monotone increase with n (paper's Figure 3 caption)\n",
+		points:      points,
+		fingerprint: []any{trials},
+	}
 }

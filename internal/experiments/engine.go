@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+	"repro/internal/run"
+)
+
+// RunConfig parametrizes a resilient experiment run: worker count, failure
+// policy, per-experiment supervision and checkpoint/resume.
+type RunConfig struct {
+	// Workers is the fan-out width (<= 0 means the parallel default).
+	Workers int
+	// TaskTimeout bounds each experiment (0 = unbounded). An experiment
+	// that overruns is abandoned and reported as run.ErrDeadline.
+	TaskTimeout time.Duration
+	// StallTimeout arms the per-experiment watchdog (0 = disabled).
+	StallTimeout time.Duration
+	// OnError selects the failure policy (fail | skip | retry).
+	OnError run.OnError
+	// MaxRetries caps re-runs per experiment under run.Retry.
+	MaxRetries int
+	// CheckpointPath, when set, makes the run crash-safe: every completed
+	// experiment's output block is snapshotted (atomic write) as it lands.
+	CheckpointPath string
+	// Resume loads CheckpointPath (if it exists) and replays its completed
+	// slots instead of re-running them. Because every experiment is a pure
+	// function of (Seed, experiment number), the resumed run's output is
+	// byte-identical to an uninterrupted one.
+	Resume bool
+}
+
+// Status is one experiment's outcome in a resilient run.
+type Status struct {
+	ID   string
+	Wall time.Duration
+	// Resumed marks a slot replayed from the checkpoint rather than run.
+	Resumed bool
+	// Err is nil for a completed experiment, else the *run.TaskError (or
+	// cancellation) that stopped it.
+	Err error
+}
+
+// fingerprint ties a checkpoint to the run configuration that wrote it.
+func fingerprint(exps []Experiment, o Options) string {
+	ids := make([]string, len(exps))
+	for i, e := range exps {
+		ids[i] = e.ID
+	}
+	return run.Fingerprint("experiments", o.Seed, o.Scale, strings.Join(ids, ","))
+}
+
+// expStream returns the xrand salt experiment i derives its streams from
+// (the k of xrand.New(Seed, k)); recorded in checkpoint slots so snapshots
+// are self-describing. The E1..E17 convention is salt = position + 1.
+func expStream(i int) uint64 { return uint64(i) + 1 }
+
+// RunResilient is RunAll under a control plane: experiments fan out over
+// the pool and stream to w in order, but each one runs supervised (panic
+// isolation, optional deadline and watchdog, optional retry), completed
+// blocks are checkpointed crash-safely, and a canceled or crashed run can
+// resume from its snapshot with byte-identical final output.
+//
+// Only experiment blocks are written to w — on an uninterrupted run with a
+// zero-valued RunConfig the bytes are exactly RunAll's. Failures and
+// partial progress are reported through the returned statuses: under
+// run.FailFast the first failure cancels the rest and is returned; under
+// run.Skip / run.Retry a failed experiment emits a one-line failure block
+// and the rest complete, with the details in statuses. The returned error
+// is non-nil only when the run as a whole failed or was canceled.
+func RunResilient(ctx context.Context, w io.Writer, exps []Experiment, o Options, rc RunConfig) ([]Status, error) {
+	ctrl := run.NewController(ctx, run.Config{
+		TaskTimeout:  rc.TaskTimeout,
+		StallTimeout: rc.StallTimeout,
+		OnError:      rc.OnError,
+		MaxRetries:   rc.MaxRetries,
+	})
+	defer ctrl.Cancel()
+	return RunControlled(ctrl, w, exps, o, rc)
+}
+
+// RunControlled is RunResilient with a caller-owned controller, for CLIs
+// that install signal handlers or whole-run deadlines on it first.
+func RunControlled(ctrl *run.Controller, w io.Writer, exps []Experiment, o Options, rc RunConfig) ([]Status, error) {
+	fp := fingerprint(exps, o)
+	cp := run.NewCheckpoint("experiments", o.Seed, fp)
+	if rc.CheckpointPath != "" && rc.Resume {
+		loaded, err := run.LoadCheckpoint(rc.CheckpointPath)
+		switch {
+		case err == nil:
+			if loaded.Fingerprint != fp {
+				return nil, fmt.Errorf("experiments: checkpoint %s was written by a different run (fingerprint %s, want %s); refusing to resume",
+					rc.CheckpointPath, loaded.Fingerprint, fp)
+			}
+			cp = loaded
+		case os.IsNotExist(err):
+			// First run of a -resume invocation: nothing to replay.
+		default:
+			return nil, err
+		}
+	}
+
+	statuses := make([]Status, len(exps))
+	completed := metrics.Default().Counter("experiments_completed")
+	ready := make([]chan string, len(exps))
+	for i := range ready {
+		ready[i] = make(chan string, 1)
+	}
+
+	job := func(i int) error {
+		e := exps[i]
+		statuses[i].ID = e.ID
+		banner := fmt.Sprintf("\n──── %s ────\n", e.Title)
+		if slot, ok := cp.Done(e.ID); ok {
+			run.TaskResumed()
+			statuses[i].Wall = time.Duration(slot.WallNS)
+			statuses[i].Resumed = true
+			completed.Inc()
+			ready[i] <- string(slot.Output)
+			return nil
+		}
+		// The buffer and wall reading happen only on the success path, where
+		// the task goroutine has finished; an abandoned (deadline/stall)
+		// task keeps writing to variables nobody reads again.
+		var block string
+		var wall time.Duration
+		err := ctrl.Do(e.ID, i, func(t *run.Task) error {
+			var b strings.Builder
+			b.WriteString(banner)
+			start := time.Now()
+			e.Run(&b, o)
+			wall = time.Since(start)
+			block = b.String()
+			return nil
+		})
+		if err != nil {
+			statuses[i].Err = err
+			ready[i] <- fmt.Sprintf("%s<%s failed: %v>\n", banner, e.ID, err)
+			if rc.OnError == run.FailFast {
+				ctrl.CancelCause(err)
+			}
+			return err
+		}
+		statuses[i].Wall = wall
+		metrics.Default().Timer("experiment_wall", "id", e.ID).Observe(wall)
+		completed.Inc()
+		if rc.CheckpointPath != "" {
+			cp.Record(run.Slot{ID: e.ID, Stream: expStream(i), Output: []byte(block), WallNS: int64(wall)})
+			if err := cp.Save(rc.CheckpointPath); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}
+		ready[i] <- block
+		return nil
+	}
+
+	// The fan-out runs on its own goroutine so the loop below can stream
+	// completed blocks in order while later experiments still run. A block
+	// is sent on ready[i] before the job returns, so once the fan-out has
+	// drained, every block that will ever arrive is already buffered —
+	// slots canceled before dispatch simply emit nothing.
+	var errs []error
+	fanDone := make(chan struct{})
+	go func() {
+		defer close(fanDone)
+		errs = parallel.ForEachCtx(ctrl.Context(), rc.Workers, len(exps), job)
+	}()
+	for i := range ready {
+		select {
+		case s := <-ready[i]:
+			io.WriteString(w, s)
+		case <-fanDone:
+			select {
+			case s := <-ready[i]:
+				io.WriteString(w, s)
+			default:
+			}
+		}
+	}
+	<-fanDone
+
+	for i := range statuses {
+		if statuses[i].ID == "" {
+			statuses[i].ID = exps[i].ID
+		}
+		if statuses[i].Err == nil && errs[i] != nil {
+			statuses[i].Err = errs[i]
+		}
+	}
+	// A final durable snapshot: per-completion saves make this a formality,
+	// but it guarantees the on-disk state reflects everything that finished
+	// even if an earlier save failed transiently.
+	if rc.CheckpointPath != "" && cp.Len() > 0 {
+		if err := cp.Save(rc.CheckpointPath); err != nil {
+			return statuses, err
+		}
+	}
+
+	if err := ctrl.Err(); err != nil && !errors.Is(err, run.ErrCanceled) {
+		// Whole-run deadline.
+		return statuses, err
+	}
+	if cause := ctrl.Err(); cause != nil {
+		// Canceled: surface the first real task failure if one triggered a
+		// fail-fast cancel, else the cancellation itself.
+		for _, s := range statuses {
+			if s.Err != nil && !errors.Is(s.Err, run.ErrCanceled) {
+				return statuses, s.Err
+			}
+		}
+		return statuses, cause
+	}
+	if rc.OnError == run.FailFast {
+		for _, s := range statuses {
+			if s.Err != nil {
+				return statuses, s.Err
+			}
+		}
+	}
+	return statuses, nil
+}
+
+// Summarize renders a one-line progress summary ("14/17 complete (2
+// resumed), 1 failed, 2 canceled") for CLI trailers.
+func Summarize(statuses []Status) string {
+	var done, resumed, failed, canceled int
+	for _, s := range statuses {
+		switch {
+		case s.Err == nil:
+			done++
+			if s.Resumed {
+				resumed++
+			}
+		case errors.Is(s.Err, run.ErrCanceled):
+			canceled++
+		default:
+			failed++
+		}
+	}
+	msg := fmt.Sprintf("%d/%d complete", done, len(statuses))
+	if resumed > 0 {
+		msg += fmt.Sprintf(" (%d resumed from checkpoint)", resumed)
+	}
+	if failed > 0 {
+		msg += fmt.Sprintf(", %d failed", failed)
+	}
+	if canceled > 0 {
+		msg += fmt.Sprintf(", %d canceled", canceled)
+	}
+	return msg
+}

@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/run"
+	"repro/internal/xrand"
+)
+
+// killAfter wraps the experiment list so that completing the experiment at
+// slot `kill` cancels the controller — a deterministic stand-in for a
+// mid-sweep SIGTERM or crash, landing after that slot's output is produced
+// but (at low worker counts) before its successors run.
+func killAfter(exps []Experiment, kill int, ctrl *run.Controller) []Experiment {
+	out := make([]Experiment, len(exps))
+	for i, e := range exps {
+		i, e := i, e
+		out[i] = Experiment{ID: e.ID, Title: e.Title, Run: func(w io.Writer, o Options) {
+			e.Run(w, o)
+			if i == kill {
+				ctrl.Cancel()
+			}
+		}}
+	}
+	return out
+}
+
+// TestKillAndResumeByteIdentical is the acceptance test for checkpoint/
+// resume: a sweep canceled at a randomized (seed-derived) point and resumed
+// from its snapshot must emit byte-identical output to an uninterrupted
+// run, at -workers=1 and -workers=8.
+func TestKillAndResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several full experiment passes")
+	}
+	o := tinyOpts()
+	var reference bytes.Buffer
+	if _, err := RunResilient(context.Background(), &reference, All(), o, RunConfig{Workers: 4}); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			ckpt := filepath.Join(t.TempDir(), "ckpt.json")
+			// Seed-derived kill point, different per worker count so the
+			// suite covers several interruption sites.
+			kill := xrand.New(o.Seed, uint64(workers)).IntN(len(All()) - 1)
+
+			ctrl := run.NewController(context.Background(), run.Config{})
+			var interrupted bytes.Buffer
+			statuses, err := RunControlled(ctrl, &interrupted, killAfter(All(), kill, ctrl), o,
+				RunConfig{Workers: workers, CheckpointPath: ckpt})
+			if err == nil {
+				t.Fatalf("kill at slot %d did not interrupt the run", kill)
+			}
+			if !errors.Is(err, run.ErrCanceled) {
+				t.Fatalf("interrupted run error %v does not wrap ErrCanceled", err)
+			}
+			var done, canceled int
+			for _, s := range statuses {
+				if s.Err == nil {
+					done++
+				} else {
+					canceled++
+				}
+			}
+			if done == 0 || canceled == 0 {
+				t.Fatalf("kill at slot %d: done=%d canceled=%d — want a genuine partial run", kill, done, canceled)
+			}
+
+			cp, err := run.LoadCheckpoint(ckpt)
+			if err != nil {
+				t.Fatalf("snapshot unreadable after interruption: %v", err)
+			}
+			if cp.Len() != done {
+				t.Fatalf("snapshot holds %d slots, %d experiments completed", cp.Len(), done)
+			}
+
+			var resumed bytes.Buffer
+			statuses, err = RunResilient(context.Background(), &resumed, All(), o,
+				RunConfig{Workers: workers, CheckpointPath: ckpt, Resume: true})
+			if err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+			var replayed int
+			for _, s := range statuses {
+				if s.Err != nil {
+					t.Fatalf("resumed run failed %s: %v", s.ID, s.Err)
+				}
+				if s.Resumed {
+					replayed++
+				}
+			}
+			if replayed != done {
+				t.Fatalf("resume replayed %d slots, checkpoint held %d", replayed, done)
+			}
+			if resumed.String() != reference.String() {
+				t.Fatalf("resumed output differs from uninterrupted run (kill=%d):\n--- resumed ---\n%s\n--- reference ---\n%s",
+					kill, resumed.String(), reference.String())
+			}
+		})
+	}
+}
+
+// TestResumeCompletedRunReplaysEverything: resuming a checkpoint of a
+// finished sweep runs zero experiments and still reproduces the bytes.
+func TestResumeCompletedRunReplaysEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment pass")
+	}
+	o := tinyOpts()
+	ckpt := filepath.Join(t.TempDir(), "ckpt.json")
+	var first bytes.Buffer
+	if _, err := RunResilient(context.Background(), &first, All(), o, RunConfig{Workers: 4, CheckpointPath: ckpt}); err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	statuses, err := RunResilient(context.Background(), &second, All(), o,
+		RunConfig{Workers: 4, CheckpointPath: ckpt, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range statuses {
+		if !s.Resumed {
+			t.Fatalf("%s re-ran despite a complete checkpoint", s.ID)
+		}
+	}
+	if first.String() != second.String() {
+		t.Fatal("replayed output differs from original")
+	}
+}
+
+func TestResumeRefusesForeignCheckpoint(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "ckpt.json")
+	exps := []Experiment{{ID: "T1", Title: "T1: trivial", Run: func(w io.Writer, o Options) { fmt.Fprintln(w, "ok") }}}
+	if _, err := RunResilient(context.Background(), io.Discard, exps, Options{Seed: 1, Scale: 1},
+		RunConfig{CheckpointPath: ckpt}); err != nil {
+		t.Fatal(err)
+	}
+	// Same checkpoint, different seed: the fingerprint must not match.
+	_, err := RunResilient(context.Background(), io.Discard, exps, Options{Seed: 2, Scale: 1},
+		RunConfig{CheckpointPath: ckpt, Resume: true})
+	if err == nil || !strings.Contains(err.Error(), "refusing to resume") {
+		t.Fatalf("foreign checkpoint accepted: %v", err)
+	}
+}
+
+// panicList is a tiny experiment list with one deterministic saboteur.
+func panicList() []Experiment {
+	mk := func(id string) Experiment {
+		return Experiment{ID: id, Title: id + ": healthy", Run: func(w io.Writer, o Options) {
+			fmt.Fprintf(w, "%s output for seed %d\n", id, o.Seed)
+		}}
+	}
+	return []Experiment{
+		mk("T1"), mk("T2"),
+		{ID: "T3", Title: "T3: saboteur", Run: func(w io.Writer, o Options) { panic("injected fault") }},
+		mk("T4"), mk("T5"),
+	}
+}
+
+// TestPanickingExperimentIsIsolated is the acceptance test for panic
+// containment: a panicking experiment no longer crashes the process — it
+// is reported as a typed *run.TaskError, and with -on-error=skip the
+// remaining experiments complete and stream in order.
+func TestPanickingExperimentIsIsolated(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var out bytes.Buffer
+		statuses, err := RunResilient(context.Background(), &out, panicList(), Options{Seed: 9, Scale: 1},
+			RunConfig{Workers: workers, OnError: run.Skip})
+		if err != nil {
+			t.Fatalf("workers=%d: skip-policy run failed as a whole: %v", workers, err)
+		}
+		for _, s := range statuses {
+			if s.ID == "T3" {
+				var te *run.TaskError
+				if !errors.As(s.Err, &te) || !errors.Is(s.Err, run.ErrPanicked) {
+					t.Fatalf("workers=%d: saboteur error %v is not a typed panic", workers, s.Err)
+				}
+				if len(te.Stack) == 0 {
+					t.Fatalf("workers=%d: panic stack lost", workers)
+				}
+				continue
+			}
+			if s.Err != nil {
+				t.Fatalf("workers=%d: healthy %s failed: %v", workers, s.ID, s.Err)
+			}
+		}
+		s := out.String()
+		for _, id := range []string{"T1", "T2", "T4", "T5"} {
+			if !strings.Contains(s, id+" output") {
+				t.Fatalf("workers=%d: %s block missing after sibling panic:\n%s", workers, id, s)
+			}
+		}
+		if !strings.Contains(s, "<T3 failed:") || !strings.Contains(s, "panicked") {
+			t.Fatalf("workers=%d: failure block missing:\n%s", workers, s)
+		}
+	}
+}
+
+// TestPanicFailFastCancelsRemainder: under the default policy the first
+// failure stops the sweep (but still without crashing the process) and
+// surfaces the typed error.
+func TestPanicFailFastCancelsRemainder(t *testing.T) {
+	var out bytes.Buffer
+	statuses, err := RunResilient(context.Background(), &out, panicList(), Options{Seed: 9, Scale: 1},
+		RunConfig{Workers: 1, OnError: run.FailFast})
+	if !errors.Is(err, run.ErrPanicked) {
+		t.Fatalf("fail-fast error %v does not wrap ErrPanicked", err)
+	}
+	// With one worker the saboteur at slot 2 must prevent dispatch of the
+	// later slots.
+	for _, s := range statuses[3:] {
+		if s.Err == nil {
+			t.Fatalf("%s ran after a fail-fast cancellation", s.ID)
+		}
+		if !errors.Is(s.Err, run.ErrCanceled) {
+			t.Fatalf("%s error %v, want cancellation", s.ID, s.Err)
+		}
+	}
+}
+
+// TestRetryPolicyHealsTransientFailure: a task that fails on its first
+// attempt and succeeds on the second completes under -on-error=retry, and
+// the retried attempt's bytes are what lands in the output.
+func TestRetryPolicyHealsTransientFailure(t *testing.T) {
+	attempts := 0
+	exps := []Experiment{{ID: "T1", Title: "T1: flaky", Run: func(w io.Writer, o Options) {
+		attempts++
+		if attempts == 1 {
+			panic("transient glitch")
+		}
+		fmt.Fprintln(w, "healed")
+	}}}
+	var out bytes.Buffer
+	statuses, err := RunResilient(context.Background(), &out, exps, Options{Seed: 1, Scale: 1},
+		RunConfig{Workers: 1, OnError: run.Retry, MaxRetries: 2})
+	if err != nil {
+		t.Fatalf("retry run failed: %v", err)
+	}
+	if statuses[0].Err != nil || attempts != 2 {
+		t.Fatalf("attempts=%d err=%v", attempts, statuses[0].Err)
+	}
+	if !strings.Contains(out.String(), "healed") {
+		t.Fatalf("retried output missing:\n%s", out.String())
+	}
+}
+
+// TestRunResilientMatchesRunAll pins the refactor: with a zero-valued
+// RunConfig the resilient engine's bytes are exactly RunAll's.
+func TestRunResilientMatchesRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full experiment passes")
+	}
+	o := tinyOpts()
+	var legacy, resilient bytes.Buffer
+	RunAll(&legacy, o, 4)
+	if _, err := RunResilient(context.Background(), &resilient, All(), o, RunConfig{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if legacy.String() != resilient.String() {
+		t.Fatal("RunResilient output differs from RunAll")
+	}
+}

@@ -11,7 +11,7 @@
 package experiments
 
 import (
-	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -24,8 +24,6 @@ import (
 	"repro/internal/faults"
 	"repro/internal/games"
 	"repro/internal/loadbalance"
-	"repro/internal/metrics"
-	"repro/internal/parallel"
 	"repro/internal/qkd"
 	"repro/internal/qsim"
 	"repro/internal/stats"
@@ -105,31 +103,19 @@ type Timing struct {
 // the default metrics registry (experiment_wall{id=...} timers plus an
 // experiments_completed counter), so a -metrics artifact written after the
 // run carries the per-experiment breakdown.
+//
+// RunAll is the unsupervised entry point: it delegates to RunResilient
+// with no deadlines, checkpointing or failure policy, and panics if an
+// experiment fails (the historical contract). Callers needing
+// cancellation, -on-error policies or checkpoint/resume use RunResilient.
 func RunAll(w io.Writer, o Options, workers int) []Timing {
-	exps := All()
-	timings := make([]Timing, len(exps))
-	completed := metrics.Default().Counter("experiments_completed")
-	ready := make([]chan string, len(exps))
-	for i := range ready {
-		ready[i] = make(chan string, 1)
+	statuses, err := RunResilient(context.Background(), w, All(), o, RunConfig{Workers: workers})
+	if err != nil {
+		panic(err)
 	}
-	// The fan-out runs on its own goroutine so the caller's loop below can
-	// stream completed blocks in order while later experiments still run.
-	// Timing writes happen before the send on ready[i], so the loop below
-	// (and the caller, after every receive) observes them safely.
-	go parallel.ForEachN(workers, len(exps), func(i int) {
-		var b bytes.Buffer
-		fmt.Fprintf(&b, "\n──── %s ────\n", exps[i].Title)
-		start := time.Now()
-		exps[i].Run(&b, o)
-		wall := time.Since(start)
-		timings[i] = Timing{ID: exps[i].ID, Wall: wall}
-		metrics.Default().Timer("experiment_wall", "id", exps[i].ID).Observe(wall)
-		completed.Inc()
-		ready[i] <- b.String()
-	})
-	for i := range ready {
-		io.WriteString(w, <-ready[i])
+	timings := make([]Timing, len(statuses))
+	for i, s := range statuses {
+		timings[i] = Timing{ID: s.ID, Wall: s.Wall}
 	}
 	return timings
 }

@@ -1,0 +1,140 @@
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/run"
+)
+
+// ForEachCtx is the resilient fan-out: it runs fn(i) for every i in [0, n)
+// on `workers` goroutines (<= 0 means the default pool width) and returns
+// one error slot per job. Unlike ForEach it never panics and never kills
+// the process:
+//
+//   - a job that panics is recovered in its worker and reported as a
+//     *run.TaskError with Kind run.ErrPanicked and the goroutine's stack —
+//     the other workers keep draining jobs;
+//   - a job that returns an error has it recorded in its slot; dispatch
+//     continues (fail-fast is the caller's policy: cancel ctx);
+//   - when ctx is canceled, workers finish their in-flight jobs (graceful
+//     drain) and stop picking up new ones; every undispatched job gets a
+//     *run.TaskError with Kind run.ErrCanceled.
+//
+// The deterministic-fan-out contract is unchanged: results land in job
+// order, and a job's behavior may depend only on its index.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) []error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	started := make([]bool, n)
+	start := time.Now()
+
+	if workers == 1 {
+		// Serial fast path: no goroutines, but the same isolation contract —
+		// a panicking job must not take down the caller.
+		defer func() {
+			wall := time.Since(start)
+			busyNs.Add(int64(wall))
+			recordFanout(1, n, wall)
+		}()
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
+			started[i] = true
+			jobWait.Observe(time.Since(start))
+			errs[i] = protectErr(i, fn)
+		}
+		fillCanceled(ctx, errs, started)
+		return errs
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			workerStart := time.Now()
+			defer func() {
+				busyNs.Add(int64(time.Since(workerStart)))
+				wg.Done()
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				started[i] = true
+				jobWait.Observe(time.Since(start))
+				errs[i] = protectErr(i, fn)
+			}
+		}()
+	}
+	wg.Wait()
+	recordFanout(workers, n, time.Since(start))
+	fillCanceled(ctx, errs, started)
+	return errs
+}
+
+// MapCtx is ForEachCtx collecting results: out[i] is fn(i)'s value when its
+// error slot is nil, the zero value otherwise.
+func MapCtx[R any](ctx context.Context, workers, n int, fn func(i int) (R, error)) ([]R, []error) {
+	out := make([]R, n)
+	errs := ForEachCtx(ctx, workers, n, func(i int) error {
+		r, err := fn(i)
+		if err == nil {
+			out[i] = r
+		}
+		return err
+	})
+	return out, errs
+}
+
+// protectErr runs one job, converting a panic into a typed task error. The
+// started/errs slices need no synchronization beyond the pool's WaitGroup:
+// each index is written by exactly one worker before wg.Done and read after
+// wg.Wait.
+func protectErr(i int, fn func(int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			run.PanicRecovered()
+			err = &run.TaskError{
+				Index: i, ID: fmt.Sprintf("job %d", i),
+				Kind: run.ErrPanicked, Cause: fmt.Errorf("%v", r),
+				PanicValue: r, Stack: debug.Stack(),
+			}
+		}
+	}()
+	return fn(i)
+}
+
+// fillCanceled marks every job the canceled fan-out never started.
+func fillCanceled(ctx context.Context, errs []error, started []bool) {
+	if ctx.Err() == nil {
+		return
+	}
+	cause := context.Cause(ctx)
+	for i := range errs {
+		if !started[i] {
+			errs[i] = &run.TaskError{
+				Index: i, ID: fmt.Sprintf("job %d", i),
+				Kind: run.ErrCanceled, Cause: cause,
+			}
+		}
+	}
+}

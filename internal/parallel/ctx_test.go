@@ -1,0 +1,165 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/run"
+)
+
+func TestForEachCtxRunsEveryJob(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		const n = 100
+		var counts [n]atomic.Int64
+		errs := ForEachCtx(context.Background(), workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		for i := range counts {
+			if counts[i].Load() != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, counts[i].Load())
+			}
+			if errs[i] != nil {
+				t.Fatalf("workers=%d: job %d error %v", workers, i, errs[i])
+			}
+		}
+	}
+}
+
+// TestForEachCtxIsolatesPanics is the panic-containment regression test:
+// before the control plane, a panicking worker re-raised on the fan-out
+// goroutine and took the whole process down (and, with the ordered-output
+// streamer of experiments.RunAll waiting on the failed slot, deadlocked
+// it). Now the panic is recovered in the worker, typed, and confined to
+// its slot while every other job completes.
+func TestForEachCtxIsolatesPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 20
+		var ran atomic.Int64
+		errs := ForEachCtx(context.Background(), workers, n, func(i int) error {
+			if i == 3 {
+				panic("boom-3")
+			}
+			ran.Add(1)
+			return nil
+		})
+		if ran.Load() != n-1 {
+			t.Fatalf("workers=%d: %d healthy jobs ran, want %d", workers, ran.Load(), n-1)
+		}
+		var te *run.TaskError
+		if !errors.As(errs[3], &te) || !errors.Is(errs[3], run.ErrPanicked) {
+			t.Fatalf("workers=%d: slot 3 error %v is not a typed panic", workers, errs[3])
+		}
+		if te.Index != 3 || te.PanicValue != "boom-3" || len(te.Stack) == 0 {
+			t.Fatalf("workers=%d: panic record incomplete: %+v", workers, te)
+		}
+		for i := range errs {
+			if i != 3 && errs[i] != nil {
+				t.Fatalf("workers=%d: healthy slot %d got error %v", workers, i, errs[i])
+			}
+		}
+	}
+}
+
+func TestForEachCtxRecordsPlainErrorsPerSlot(t *testing.T) {
+	want := errors.New("slot error")
+	errs := ForEachCtx(context.Background(), 4, 10, func(i int) error {
+		if i%3 == 0 {
+			return fmt.Errorf("job %d: %w", i, want)
+		}
+		return nil
+	})
+	for i, err := range errs {
+		if i%3 == 0 != errors.Is(err, want) {
+			t.Fatalf("slot %d error %v", i, err)
+		}
+	}
+}
+
+func TestForEachCtxGracefulCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		const n = 50
+		var started atomic.Int64
+		errs := ForEachCtx(ctx, workers, n, func(i int) error {
+			if started.Add(1) == int64(workers) {
+				cancel() // cancel while the first wave is in flight
+			}
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+		cancel()
+		if started.Load() == n {
+			t.Fatalf("workers=%d: cancellation did not stop dispatch", workers)
+		}
+		var finished, canceled int
+		for _, err := range errs {
+			switch {
+			case err == nil:
+				finished++ // in-flight jobs drain to completion
+			case errors.Is(err, run.ErrCanceled):
+				canceled++
+			default:
+				t.Fatalf("workers=%d: unexpected error %v", workers, err)
+			}
+		}
+		if finished == 0 || canceled == 0 {
+			t.Fatalf("workers=%d: finished=%d canceled=%d — want both graceful drain and cancellation",
+				workers, finished, canceled)
+		}
+		if finished+canceled != n {
+			t.Fatalf("workers=%d: %d+%d slots accounted, want %d", workers, finished, canceled, n)
+		}
+	}
+}
+
+func TestForEachCtxPreCanceledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	errs := ForEachCtx(ctx, 4, 5, func(i int) error { ran = true; return nil })
+	if ran {
+		t.Fatal("job ran under a pre-canceled context")
+	}
+	for i, err := range errs {
+		if !errors.Is(err, run.ErrCanceled) {
+			t.Fatalf("slot %d error %v, want ErrCanceled", i, err)
+		}
+	}
+}
+
+func TestMapCtxCollectsResults(t *testing.T) {
+	out, errs := MapCtx(context.Background(), 4, 20, func(i int) (int, error) {
+		if i == 7 {
+			return 0, errors.New("seven")
+		}
+		return i * i, nil
+	})
+	for i := range out {
+		if i == 7 {
+			if errs[i] == nil {
+				t.Fatal("slot 7 error lost")
+			}
+			continue
+		}
+		if out[i] != i*i || errs[i] != nil {
+			t.Fatalf("slot %d: %d, %v", i, out[i], errs[i])
+		}
+	}
+}
+
+func TestForEachCtxNilContextAndEmpty(t *testing.T) {
+	if errs := ForEachCtx(context.Background(), 4, 0, func(int) error { return nil }); errs != nil {
+		t.Fatalf("empty fan-out returned %v", errs)
+	}
+	var ran atomic.Int64
+	//lint:ignore SA1012 nil context is explicitly supported as background
+	errs := ForEachCtx(nil, 2, 3, func(i int) error { ran.Add(1); return nil })
+	if ran.Load() != 3 || errs[0] != nil {
+		t.Fatalf("nil-context fan-out: ran=%d errs=%v", ran.Load(), errs)
+	}
+}

@@ -86,12 +86,12 @@ type jobPanic struct {
 	value any
 }
 
-// run dispatches jobs 0..n-1 over min(workers, n) goroutines via a shared
+// dispatch runs jobs 0..n-1 over min(workers, n) goroutines via a shared
 // atomic counter (the nuclio-style work-stealing counter: no channel per
 // job, no per-job goroutine). The first panicking job is re-raised on the
 // calling goroutine after all workers have stopped, so a fan-out failure
 // behaves like the serial loop's failure.
-func run(workers, n int, fn func(i int)) {
+func dispatch(workers, n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
@@ -175,11 +175,11 @@ func protect(i int, fn func(int)) (jp *jobPanic) {
 // ForEach runs fn(i) for every i in [0, n) on the default worker pool.
 // fn must be safe for concurrent invocation and must not depend on
 // cross-job ordering.
-func ForEach(n int, fn func(i int)) { run(0, n, fn) }
+func ForEach(n int, fn func(i int)) { dispatch(0, n, fn) }
 
 // ForEachN is ForEach with an explicit worker count (<= 0 means default;
 // 1 runs serially on the calling goroutine).
-func ForEachN(workers, n int, fn func(i int)) { run(workers, n, fn) }
+func ForEachN(workers, n int, fn func(i int)) { dispatch(workers, n, fn) }
 
 // Map runs fn(i) for every i in [0, n) on the default worker pool and
 // returns the results in index order, independent of scheduling.
@@ -189,6 +189,6 @@ func Map[R any](n int, fn func(i int) R) []R { return MapN[R](0, n, fn) }
 // serially on the calling goroutine).
 func MapN[R any](workers, n int, fn func(i int) R) []R {
 	out := make([]R, n)
-	run(workers, n, func(i int) { out[i] = fn(i) })
+	dispatch(workers, n, func(i int) { out[i] = fn(i) })
 	return out
 }

@@ -1,0 +1,175 @@
+package run
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// CheckpointVersion is the on-disk schema version; Load refuses files from
+// a different major schema rather than guessing.
+const CheckpointVersion = 1
+
+// Slot is one completed unit of a sweep: the task's identifier, the xrand
+// salt that derived its randomness, and the exact bytes it produced.
+// Because every task is a pure function of (master seed, Stream), replaying
+// Output on resume is byte-identical to re-running the task.
+type Slot struct {
+	ID string `json:"id"`
+	// Stream is the xrand derivation salt for this slot (the k of
+	// xrand.New(seed, k) / xrand.Derive(base, k)), recorded so a snapshot
+	// is self-describing about which stream produced which bytes.
+	Stream uint64 `json:"stream"`
+	// Output is the slot's emitted bytes (JSON-encoded as base64).
+	Output []byte `json:"output"`
+	// WallNS is the original attempt's wall time, replayed into resumed
+	// timing reports so a resumed run's timing table stays meaningful.
+	WallNS int64 `json:"wall_ns,omitempty"`
+}
+
+// Checkpoint is a crash-safe snapshot of a sweep in progress. It is safe
+// for concurrent Record/Done/Save from fan-out workers.
+type Checkpoint struct {
+	Version int `json:"version"`
+	// Tool names the writing binary ("repro", "xorgame", ...).
+	Tool string `json:"tool"`
+	// Seed is the master seed the sweep derives every stream from.
+	Seed uint64 `json:"seed"`
+	// Fingerprint hashes the run configuration (tool, seed, scale, task
+	// list); Resume refuses a snapshot whose fingerprint does not match the
+	// requested run, because replaying slots from a different configuration
+	// would silently corrupt the output.
+	Fingerprint string `json:"fingerprint"`
+	Slots       []Slot `json:"slots"`
+
+	mu sync.Mutex
+}
+
+// NewCheckpoint returns an empty snapshot for the given run identity.
+func NewCheckpoint(tool string, seed uint64, fingerprint string) *Checkpoint {
+	return &Checkpoint{Version: CheckpointVersion, Tool: tool, Seed: seed, Fingerprint: fingerprint}
+}
+
+// Fingerprint hashes the parts that define a run's identity into a short
+// stable hex string. Any difference in tool, seed, scale or task list
+// yields a different fingerprint.
+func Fingerprint(parts ...any) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%v\x00", p)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Done returns the recorded slot for id, if present.
+func (c *Checkpoint) Done(id string) (Slot, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.Slots {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Slot{}, false
+}
+
+// Len returns the number of completed slots.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.Slots)
+}
+
+// Record stores (or replaces) a completed slot.
+func (c *Checkpoint) Record(s Slot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.Slots {
+		if c.Slots[i].ID == s.ID {
+			c.Slots[i] = s
+			return
+		}
+	}
+	c.Slots = append(c.Slots, s)
+}
+
+// Save writes the snapshot crash-safely: marshal to a temp file in the
+// destination directory, fsync it, atomically rename over the destination,
+// then fsync the directory so the rename itself is durable. A crash at any
+// point leaves either the old snapshot or the new one — never a torn file.
+func (c *Checkpoint) Save(path string) error {
+	c.mu.Lock()
+	// Stable slot order keeps snapshots diffable across runs; completion
+	// order is scheduling noise.
+	sort.SliceStable(c.Slots, func(i, j int) bool { return c.Slots[i].ID < c.Slots[j].ID })
+	data, err := json.MarshalIndent(c, "", " ")
+	c.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("run: marshal checkpoint: %w", err)
+	}
+	data = append(data, '\n')
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("run: checkpoint temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("run: write checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("run: sync checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("run: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("run: publish checkpoint: %w", err)
+	}
+	// Directory fsync makes the rename durable; some filesystems don't
+	// support it, so failure here is not fatal.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	mCheckpoints.Inc()
+	return nil
+}
+
+// LoadCheckpoint reads a snapshot written by Save. A missing file is
+// reported via os.IsNotExist on the returned error.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("run: corrupt checkpoint %s: %w", path, err)
+	}
+	if c.Version != CheckpointVersion {
+		return nil, fmt.Errorf("run: checkpoint %s has schema version %d, want %d", path, c.Version, CheckpointVersion)
+	}
+	return &c, nil
+}
+
+// Checkpoint accounting, surfaced in -metrics dumps alongside the
+// controller counters.
+var (
+	mCheckpoints = metrics.Default().Counter("run.checkpoints_written")
+	mResumed     = metrics.Default().Counter("run.tasks_resumed")
+)
+
+// TaskResumed counts one checkpointed task skipped on resume; fan-out
+// engines call it when they replay a slot instead of re-running it.
+func TaskResumed() { mResumed.Inc() }

@@ -1,0 +1,106 @@
+package run
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	cp := NewCheckpoint("test", 42, Fingerprint("test", 42))
+	cp.Record(Slot{ID: "E2", Stream: 2, Output: []byte("two\n"), WallNS: 123})
+	cp.Record(Slot{ID: "E1", Stream: 1, Output: []byte("one\n"), WallNS: 456})
+	if err := cp.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Tool != "test" || got.Seed != 42 || got.Fingerprint != cp.Fingerprint {
+		t.Fatalf("identity fields lost: %+v", got)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", got.Len())
+	}
+	s, ok := got.Done("E1")
+	if !ok || string(s.Output) != "one\n" || s.Stream != 1 || s.WallNS != 456 {
+		t.Fatalf("slot E1: %+v ok=%v", s, ok)
+	}
+	if _, ok := got.Done("E3"); ok {
+		t.Fatal("absent slot reported done")
+	}
+}
+
+func TestCheckpointRecordReplaces(t *testing.T) {
+	cp := NewCheckpoint("test", 1, "fp")
+	cp.Record(Slot{ID: "a", Output: []byte("v1")})
+	cp.Record(Slot{ID: "a", Output: []byte("v2")})
+	if cp.Len() != 1 {
+		t.Fatalf("Len = %d after replace, want 1", cp.Len())
+	}
+	if s, _ := cp.Done("a"); string(s.Output) != "v2" {
+		t.Fatalf("slot kept stale output %q", s.Output)
+	}
+}
+
+func TestCheckpointSaveIsAtomic(t *testing.T) {
+	// Overwriting an existing snapshot goes through a temp file + rename,
+	// so the destination never holds a partial write and no temp debris
+	// survives a successful save.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.json")
+	cp := NewCheckpoint("test", 7, "fp")
+	for i := 0; i < 3; i++ {
+		cp.Record(Slot{ID: string(rune('a' + i)), Output: []byte(strings.Repeat("x", 1000))})
+		if err := cp.Save(path); err != nil {
+			t.Fatalf("Save %d: %v", i, err)
+		}
+		if _, err := LoadCheckpoint(path); err != nil {
+			t.Fatalf("snapshot unreadable after save %d: %v", i, err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp debris left behind: %v", entries)
+	}
+}
+
+func TestLoadCheckpointRejectsCorruptAndWrongVersion(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{ this is not json"), 0o644)
+	if _, err := LoadCheckpoint(bad); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+	wrong := filepath.Join(dir, "wrong.json")
+	os.WriteFile(wrong, []byte(`{"version": 99, "tool": "test", "slots": []}`), 0o644)
+	if _, err := LoadCheckpoint(wrong); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("wrong-version checkpoint: %v", err)
+	}
+	if _, err := LoadCheckpoint(filepath.Join(dir, "absent.json")); !os.IsNotExist(err) {
+		t.Fatalf("missing file error %v is not IsNotExist", err)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Fingerprint("repro", uint64(42), 1.0, "E1,E2")
+	for _, other := range []string{
+		Fingerprint("repro", uint64(43), 1.0, "E1,E2"),
+		Fingerprint("repro", uint64(42), 2.0, "E1,E2"),
+		Fingerprint("repro", uint64(42), 1.0, "E1,E2,E3"),
+		Fingerprint("bench", uint64(42), 1.0, "E1,E2"),
+	} {
+		if other == base {
+			t.Fatalf("fingerprint collision: %s", base)
+		}
+	}
+	if Fingerprint("repro", uint64(42), 1.0, "E1,E2") != base {
+		t.Fatal("fingerprint not deterministic")
+	}
+}

@@ -1,0 +1,345 @@
+package run
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// OnError is the sweep-level failure policy selected by the CLIs'
+// -on-error flag.
+type OnError int
+
+const (
+	// FailFast cancels the remaining tasks on the first failure (the
+	// pre-control-plane behavior, minus the process crash).
+	FailFast OnError = iota
+	// Skip records the failure and lets the remaining tasks complete.
+	Skip
+	// Retry re-runs transient failures with exponential backoff before
+	// giving up on the task (and then behaves like Skip).
+	Retry
+)
+
+// String renders the policy as its flag spelling.
+func (p OnError) String() string {
+	switch p {
+	case FailFast:
+		return "fail"
+	case Skip:
+		return "skip"
+	case Retry:
+		return "retry"
+	default:
+		return fmt.Sprintf("OnError(%d)", int(p))
+	}
+}
+
+// ParseOnError parses the -on-error flag value.
+func ParseOnError(s string) (OnError, error) {
+	switch s {
+	case "fail", "":
+		return FailFast, nil
+	case "skip":
+		return Skip, nil
+	case "retry":
+		return Retry, nil
+	default:
+		return FailFast, fmt.Errorf("run: unknown -on-error policy %q (want fail, skip or retry)", s)
+	}
+}
+
+// Config parametrizes a Controller. The zero value is a controller with no
+// deadlines, no watchdog and no retries — cancellation and panic isolation
+// only.
+type Config struct {
+	// Timeout bounds the whole run (0 = unbounded).
+	Timeout time.Duration
+	// TaskTimeout bounds each task attempt (0 = unbounded).
+	TaskTimeout time.Duration
+	// StallTimeout arms the per-task watchdog: an attempt that goes longer
+	// than this without a Task.Heartbeat is declared stalled (0 = disabled).
+	// Tasks that never heartbeat are covered from their start time.
+	StallTimeout time.Duration
+	// OnError is the sweep-level policy; the Controller itself only applies
+	// Retry (FailFast vs Skip is the fan-out owner's decision).
+	OnError OnError
+	// MaxRetries caps re-runs per task under the Retry policy (0 with
+	// OnError==Retry means DefaultMaxRetries).
+	MaxRetries int
+	// RetryBase is the first backoff delay (doubled per attempt, capped at
+	// RetryMax). Zero means DefaultRetryBase.
+	RetryBase time.Duration
+	// RetryMax caps the backoff delay. Zero means DefaultRetryMax.
+	RetryMax time.Duration
+}
+
+// Defaults for the Retry policy.
+const (
+	DefaultMaxRetries = 2
+	DefaultRetryBase  = 50 * time.Millisecond
+	DefaultRetryMax   = 2 * time.Second
+)
+
+// Control-plane accounting, registered under the run.* keys surfaced by the
+// CLIs' -metrics dumps. Counters only — none of this touches an RNG stream.
+var (
+	mCancellations = metrics.Default().Counter("run.cancellations")
+	mRetries       = metrics.Default().Counter("run.retries")
+	mPanics        = metrics.Default().Counter("run.panics_recovered")
+	mDeadlines     = metrics.Default().Counter("run.deadline_exceeded")
+	mStalls        = metrics.Default().Counter("run.stalls")
+)
+
+// Controller carries one run's cancellation, deadlines, watchdog and retry
+// policy. It is safe for concurrent use by every worker of a fan-out.
+type Controller struct {
+	ctx      context.Context
+	cancel   context.CancelCauseFunc
+	cfg      Config
+	canceled atomic.Bool
+}
+
+// NewController derives a run context from parent (applying cfg.Timeout if
+// set) and returns the controller managing it.
+func NewController(parent context.Context, cfg Config) *Controller {
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancelCause(parent)
+	c := &Controller{ctx: ctx, cancel: cancel, cfg: cfg}
+	if cfg.Timeout > 0 {
+		// The deadline fires as a cancellation with ErrDeadline as cause, so
+		// tasks interrupted by it report "deadline exceeded", not "canceled".
+		timer := time.AfterFunc(cfg.Timeout, func() { c.CancelCause(ErrDeadline) })
+		context.AfterFunc(ctx, func() { timer.Stop() })
+	}
+	return c
+}
+
+// Context returns the run context; fan-outs pass it to parallel.ForEachCtx.
+func (c *Controller) Context() context.Context { return c.ctx }
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Cancel cancels the run with ErrCanceled as cause.
+func (c *Controller) Cancel() { c.CancelCause(ErrCanceled) }
+
+// CancelCause cancels the run with an explicit cause. The first
+// cancellation wins and is counted once in run.cancellations.
+func (c *Controller) CancelCause(cause error) {
+	if c.canceled.CompareAndSwap(false, true) {
+		mCancellations.Inc()
+	}
+	c.cancel(cause)
+}
+
+// Err returns nil while the run is live, else the taxonomy error behind the
+// cancellation (ErrCanceled for an externally-canceled parent context).
+func (c *Controller) Err() error {
+	if c.ctx.Err() == nil {
+		return nil
+	}
+	cause := context.Cause(c.ctx)
+	if cause == nil || cause == context.Canceled {
+		return ErrCanceled
+	}
+	if cause == context.DeadlineExceeded {
+		return ErrDeadline
+	}
+	return cause
+}
+
+// HandleSignals installs a graceful-shutdown handler: the first SIGINT or
+// SIGTERM cancels the run (letting in-flight tasks drain and checkpoints
+// flush); a second signal force-exits with the conventional 128+SIGINT
+// status. The returned stop function uninstalls the handler.
+func (c *Controller) HandleSignals(sigs ...os.Signal) (stop func()) {
+	if len(sigs) == 0 {
+		sigs = []os.Signal{os.Interrupt}
+	}
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, sigs...)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-ch:
+			fmt.Fprintf(os.Stderr, "\nrun: received %v — draining (send again to force exit)\n", sig)
+			c.Cancel()
+		case <-done:
+			return
+		}
+		select {
+		case <-ch:
+			fmt.Fprintln(os.Stderr, "run: second signal — exiting immediately")
+			os.Exit(130)
+		case <-done:
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}
+
+// Task is the handle a running task uses to interact with its watchdog.
+type Task struct {
+	id       string
+	index    int
+	lastBeat atomic.Int64 // monotonic-ish: time.Now().UnixNano()
+}
+
+// ID returns the task identifier.
+func (t *Task) ID() string { return t.id }
+
+// Index returns the task's fan-out slot, -1 when standalone.
+func (t *Task) Index() int { return t.index }
+
+// Heartbeat resets the stall watchdog. Long tasks with internal phases call
+// it between phases; tasks that never call it are judged from their start.
+func (t *Task) Heartbeat() { t.lastBeat.Store(time.Now().UnixNano()) }
+
+// Do runs fn as a supervised task: panic recovery (a panic becomes a
+// *TaskError with ErrPanicked and the goroutine's stack), per-attempt
+// deadline, stall watchdog, and — under the Retry policy — re-runs with
+// exponential backoff for transient failures.
+//
+// A task that overruns its deadline or stalls cannot be forcibly killed
+// (goroutines are not preemptible from outside); its goroutine is abandoned
+// and its result discarded. That is safe here because every task writes
+// only to buffers it owns and is a pure function of its seed.
+//
+// The returned error is nil or a *TaskError.
+func (c *Controller) Do(id string, index int, fn func(t *Task) error) error {
+	attempts := 0
+	maxAttempts := 1
+	if c.cfg.OnError == Retry {
+		maxAttempts = c.cfg.MaxRetries + 1
+		if c.cfg.MaxRetries == 0 {
+			maxAttempts = DefaultMaxRetries + 1
+		}
+	}
+	backoff := c.cfg.RetryBase
+	if backoff <= 0 {
+		backoff = DefaultRetryBase
+	}
+	backoffMax := c.cfg.RetryMax
+	if backoffMax <= 0 {
+		backoffMax = DefaultRetryMax
+	}
+	for {
+		attempts++
+		err := c.attempt(id, index, fn)
+		if err == nil {
+			return nil
+		}
+		err.Attempts = attempts
+		if attempts >= maxAttempts || !Transient(err) {
+			return err
+		}
+		mRetries.Inc()
+		// Interruptible backoff: a cancellation during the sleep ends the
+		// retry loop immediately.
+		select {
+		case <-time.After(backoff):
+		case <-c.ctx.Done():
+			err.Kind = ErrCanceled
+			err.Cause = context.Cause(c.ctx)
+			return err
+		}
+		if backoff *= 2; backoff > backoffMax {
+			backoff = backoffMax
+		}
+	}
+}
+
+// attempt is one supervised execution of fn.
+func (c *Controller) attempt(id string, index int, fn func(t *Task) error) *TaskError {
+	if err := c.Err(); err != nil {
+		return &TaskError{ID: id, Index: index, Kind: ErrCanceled, Cause: err}
+	}
+	task := &Task{id: id, index: index}
+	task.Heartbeat()
+	done := make(chan *TaskError, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				mPanics.Inc()
+				done <- &TaskError{
+					ID: id, Index: index, Kind: ErrPanicked,
+					Cause:      fmt.Errorf("%v", r),
+					PanicValue: r,
+					Stack:      debug.Stack(),
+				}
+			}
+		}()
+		if err := fn(task); err != nil {
+			done <- &TaskError{ID: id, Index: index, Cause: err}
+			return
+		}
+		done <- nil
+	}()
+
+	var deadline <-chan time.Time
+	if c.cfg.TaskTimeout > 0 {
+		timer := time.NewTimer(c.cfg.TaskTimeout)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	var watchdog *time.Ticker
+	var beats <-chan time.Time
+	if c.cfg.StallTimeout > 0 {
+		tick := c.cfg.StallTimeout / 4
+		if tick < time.Millisecond {
+			tick = time.Millisecond
+		}
+		watchdog = time.NewTicker(tick)
+		defer watchdog.Stop()
+		beats = watchdog.C
+	}
+	for {
+		select {
+		case err := <-done:
+			return err
+		case <-c.ctx.Done():
+			// Graceful drain: give the task a moment to finish before
+			// abandoning it, so results computed an instant before Ctrl-C
+			// still land in the checkpoint.
+			select {
+			case err := <-done:
+				return err
+			case <-time.After(drainGrace):
+				return &TaskError{ID: id, Index: index, Kind: ErrCanceled, Cause: context.Cause(c.ctx)}
+			}
+		case <-deadline:
+			mDeadlines.Inc()
+			return &TaskError{
+				ID: id, Index: index, Kind: ErrDeadline,
+				Cause: fmt.Errorf("task exceeded %v", c.cfg.TaskTimeout),
+			}
+		case <-beats:
+			if since := time.Since(time.Unix(0, task.lastBeat.Load())); since > c.cfg.StallTimeout {
+				mStalls.Inc()
+				return &TaskError{
+					ID: id, Index: index, Kind: ErrStalled,
+					Cause: fmt.Errorf("no heartbeat for %v (stall timeout %v)", since.Round(time.Millisecond), c.cfg.StallTimeout),
+				}
+			}
+		}
+	}
+}
+
+// drainGrace is how long a canceled attempt waits for its already-running
+// task before abandoning it. Variable so the tests can shrink it.
+var drainGrace = 100 * time.Millisecond
+
+// PanicRecovered counts one panic converted into a typed error outside the
+// Controller (the worker-pool backstop in internal/parallel).
+func PanicRecovered() { mPanics.Inc() }

@@ -1,0 +1,101 @@
+// Package run is the resilient control plane for long experiment sweeps:
+// context-carrying controllers with deadlines and cancellation, per-task
+// watchdogs, panic isolation, retry-with-backoff for transient failures,
+// and crash-safe checkpoint/resume.
+//
+// The layering contract: this package knows nothing about experiments,
+// games or the queueing simulator — it only manages *tasks*, opaque
+// functions identified by a string ID and an index. The experiment engine
+// (internal/experiments), the worker pool (internal/parallel) and the cmd/
+// binaries compose these pieces; because every task in this repository is
+// a pure function of its derived xrand seed, a task that is retried,
+// resumed from a checkpoint, or re-run after a crash produces bytes
+// identical to its first attempt.
+package run
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The error taxonomy. Every failure surfaced by a Controller wraps exactly
+// one of these sentinels, so callers dispatch with errors.Is rather than
+// string matching:
+//
+//	ErrCanceled — the run's context was canceled (SIGINT/SIGTERM, a caller
+//	              Cancel, or a parent context) before or while the task ran.
+//	ErrDeadline — the task (or the whole run) exceeded its deadline.
+//	ErrStalled  — the watchdog saw no heartbeat for longer than the stall
+//	              timeout while the task was still running.
+//	ErrPanicked — the task's goroutine panicked; the panic was recovered
+//	              and converted into a TaskError carrying the stack.
+var (
+	ErrCanceled = errors.New("run: canceled")
+	ErrDeadline = errors.New("run: deadline exceeded")
+	ErrStalled  = errors.New("run: stalled")
+	ErrPanicked = errors.New("run: panicked")
+)
+
+// TaskError is the typed failure record for one task attempt (or the final
+// attempt of a retried task). It wraps one taxonomy sentinel as Kind and
+// the underlying cause, so both
+//
+//	errors.Is(err, run.ErrPanicked)
+//
+// and unwrapping to the cause work.
+type TaskError struct {
+	// ID is the caller-assigned task identifier ("E7", "p=0.30", ...).
+	ID string
+	// Index is the task's slot in its fan-out, -1 when not part of one.
+	Index int
+	// Kind is one of ErrCanceled, ErrDeadline, ErrStalled, ErrPanicked, or
+	// nil for a plain task failure (fn returned an error).
+	Kind error
+	// Cause is the underlying error; for panics it is a formatted rendering
+	// of the recovered value.
+	Cause error
+	// PanicValue is the recovered value when Kind is ErrPanicked.
+	PanicValue any
+	// Stack is the panicking goroutine's stack when Kind is ErrPanicked.
+	Stack []byte
+	// Attempts is how many times the task ran (>1 only under retry).
+	Attempts int
+}
+
+// Error renders "task E7: run: panicked: boom (after 3 attempts)".
+func (e *TaskError) Error() string {
+	msg := "task " + e.ID
+	if e.Kind != nil {
+		msg += ": " + e.Kind.Error()
+	}
+	if e.Cause != nil {
+		msg += ": " + e.Cause.Error()
+	}
+	if e.Attempts > 1 {
+		msg += fmt.Sprintf(" (after %d attempts)", e.Attempts)
+	}
+	return msg
+}
+
+// Unwrap exposes both the taxonomy sentinel and the cause to errors.Is /
+// errors.As.
+func (e *TaskError) Unwrap() []error {
+	var out []error
+	if e.Kind != nil {
+		out = append(out, e.Kind)
+	}
+	if e.Cause != nil {
+		out = append(out, e.Cause)
+	}
+	return out
+}
+
+// Transient reports whether an error is worth retrying: anything except a
+// cancellation (retrying canceled work fights the operator) and nil.
+// Deadlines and stalls are retryable — a shared machine hiccup can push a
+// healthy task over a tight budget — as are panics and plain task errors,
+// because every task here is a pure function of its seed and a retry is
+// side-effect free.
+func Transient(err error) bool {
+	return err != nil && !errors.Is(err, ErrCanceled)
+}

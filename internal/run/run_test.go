@@ -1,0 +1,235 @@
+package run
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func fastRetry() Config {
+	return Config{OnError: Retry, MaxRetries: 3, RetryBase: time.Millisecond, RetryMax: 4 * time.Millisecond}
+}
+
+func TestDoSuccess(t *testing.T) {
+	c := NewController(context.Background(), Config{})
+	ran := false
+	if err := c.Do("t", 0, func(*Task) error { ran = true; return nil }); err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if !ran {
+		t.Fatal("task did not run")
+	}
+}
+
+func TestDoConvertsPanicToTypedError(t *testing.T) {
+	c := NewController(context.Background(), Config{})
+	err := c.Do("E9", 8, func(*Task) error { panic("boom") })
+	var te *TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %v is not a *TaskError", err)
+	}
+	if !errors.Is(err, ErrPanicked) {
+		t.Fatalf("error %v does not wrap ErrPanicked", err)
+	}
+	if te.ID != "E9" || te.Index != 8 || te.PanicValue != "boom" {
+		t.Fatalf("TaskError fields: %+v", te)
+	}
+	if len(te.Stack) == 0 || !strings.Contains(string(te.Stack), "run_test") {
+		t.Fatalf("stack missing or wrong: %q", te.Stack)
+	}
+	if !strings.Contains(te.Error(), "E9") || !strings.Contains(te.Error(), "boom") {
+		t.Fatalf("Error() rendering %q", te.Error())
+	}
+}
+
+func TestDoTaskErrorWrapsCause(t *testing.T) {
+	c := NewController(context.Background(), Config{})
+	cause := errors.New("bad input")
+	err := c.Do("t", 0, func(*Task) error { return cause })
+	if !errors.Is(err, cause) {
+		t.Fatalf("error %v does not wrap the cause", err)
+	}
+	if errors.Is(err, ErrPanicked) || errors.Is(err, ErrCanceled) {
+		t.Fatalf("plain failure %v carries a taxonomy kind", err)
+	}
+}
+
+func TestDoRetriesTransientFailures(t *testing.T) {
+	c := NewController(context.Background(), fastRetry())
+	var calls atomic.Int64
+	err := c.Do("flaky", 0, func(*Task) error {
+		if calls.Add(1) < 3 {
+			return fmt.Errorf("transient %d", calls.Load())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("retried task failed: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("task ran %d times, want 3", calls.Load())
+	}
+}
+
+func TestDoRetryGivesUpAfterMaxRetries(t *testing.T) {
+	c := NewController(context.Background(), fastRetry())
+	var calls atomic.Int64
+	err := c.Do("doomed", 0, func(*Task) error { calls.Add(1); return errors.New("always") })
+	if err == nil {
+		t.Fatal("doomed task reported success")
+	}
+	if calls.Load() != 4 { // initial attempt + MaxRetries
+		t.Fatalf("task ran %d times, want 4", calls.Load())
+	}
+	var te *TaskError
+	if !errors.As(err, &te) || te.Attempts != 4 {
+		t.Fatalf("final error %v does not carry the attempt count", err)
+	}
+}
+
+func TestDoNoRetryUnderFailFast(t *testing.T) {
+	c := NewController(context.Background(), Config{OnError: FailFast})
+	var calls atomic.Int64
+	if err := c.Do("t", 0, func(*Task) error { calls.Add(1); return errors.New("x") }); err == nil {
+		t.Fatal("failure swallowed")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("FailFast ran the task %d times", calls.Load())
+	}
+}
+
+func TestDoCanceledBeforeStart(t *testing.T) {
+	c := NewController(context.Background(), Config{})
+	c.Cancel()
+	ran := false
+	err := c.Do("t", 0, func(*Task) error { ran = true; return nil })
+	if ran {
+		t.Fatal("task ran on a canceled controller")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("error %v does not wrap ErrCanceled", err)
+	}
+}
+
+func TestDoTaskDeadline(t *testing.T) {
+	old := drainGrace
+	drainGrace = time.Millisecond
+	defer func() { drainGrace = old }()
+	c := NewController(context.Background(), Config{TaskTimeout: 5 * time.Millisecond})
+	release := make(chan struct{})
+	defer close(release)
+	err := c.Do("slow", 0, func(*Task) error { <-release; return nil })
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("error %v does not wrap ErrDeadline", err)
+	}
+}
+
+func TestDoStallWatchdog(t *testing.T) {
+	c := NewController(context.Background(), Config{StallTimeout: 10 * time.Millisecond})
+	release := make(chan struct{})
+	defer close(release)
+	err := c.Do("stuck", 0, func(*Task) error { <-release; return nil })
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("error %v does not wrap ErrStalled", err)
+	}
+}
+
+func TestDoHeartbeatKeepsWatchdogQuiet(t *testing.T) {
+	c := NewController(context.Background(), Config{StallTimeout: 20 * time.Millisecond})
+	err := c.Do("beating", 0, func(task *Task) error {
+		for i := 0; i < 10; i++ {
+			time.Sleep(5 * time.Millisecond)
+			task.Heartbeat()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("heartbeating task flagged: %v", err)
+	}
+}
+
+func TestControllerTimeoutCancelsRunAsDeadline(t *testing.T) {
+	old := drainGrace
+	drainGrace = time.Millisecond
+	defer func() { drainGrace = old }()
+	c := NewController(context.Background(), Config{Timeout: 5 * time.Millisecond})
+	release := make(chan struct{})
+	defer close(release)
+	err := c.Do("slow", 0, func(*Task) error { <-release; return nil })
+	if err == nil {
+		t.Fatal("run deadline did not interrupt the task")
+	}
+	if !errors.Is(c.Err(), ErrDeadline) {
+		t.Fatalf("controller error %v, want ErrDeadline", c.Err())
+	}
+}
+
+func TestCancellationDuringBackoffStopsRetry(t *testing.T) {
+	c := NewController(context.Background(), Config{OnError: Retry, MaxRetries: 5, RetryBase: time.Hour})
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		c.Cancel()
+	}()
+	start := time.Now()
+	err := c.Do("t", 0, func(*Task) error { return errors.New("transient") })
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("error %v does not wrap ErrCanceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("backoff sleep was not interrupted by cancellation")
+	}
+}
+
+func TestTransient(t *testing.T) {
+	if Transient(nil) {
+		t.Fatal("nil is transient")
+	}
+	if Transient(&TaskError{Kind: ErrCanceled}) {
+		t.Fatal("cancellation is transient")
+	}
+	for _, kind := range []error{ErrDeadline, ErrStalled, ErrPanicked, nil} {
+		if !Transient(&TaskError{Kind: kind, Cause: errors.New("x")}) {
+			t.Fatalf("kind %v not transient", kind)
+		}
+	}
+}
+
+func TestParseOnError(t *testing.T) {
+	for s, want := range map[string]OnError{"fail": FailFast, "": FailFast, "skip": Skip, "retry": Retry} {
+		got, err := ParseOnError(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseOnError(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseOnError("explode"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+	for _, p := range []OnError{FailFast, Skip, Retry} {
+		if rt, err := ParseOnError(p.String()); err != nil || rt != p {
+			t.Fatalf("policy %v does not round-trip", p)
+		}
+	}
+}
+
+func TestControllerErrTaxonomy(t *testing.T) {
+	c := NewController(context.Background(), Config{})
+	if c.Err() != nil {
+		t.Fatalf("fresh controller reports %v", c.Err())
+	}
+	c.Cancel()
+	if !errors.Is(c.Err(), ErrCanceled) {
+		t.Fatalf("canceled controller reports %v", c.Err())
+	}
+
+	parent, cancel := context.WithCancel(context.Background())
+	c2 := NewController(parent, Config{})
+	cancel()
+	<-c2.Context().Done()
+	if !errors.Is(c2.Err(), ErrCanceled) {
+		t.Fatalf("parent-canceled controller reports %v", c2.Err())
+	}
+}
