@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify race lint bench bench-report bench-solvers bench-solvers-baseline repro soak clean
+.PHONY: build test verify race lint bench bench-report bench-solvers bench-solvers-baseline bench-simscale bench-simscale-baseline repro soak clean
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,19 @@ bench-solvers-baseline:
 	$(GO) test ./internal/games/ -run '^$$' \
 		-bench 'BenchmarkClassicalValueKernel|BenchmarkQuantumAscentKernel|BenchmarkSolveBatch' \
 		-benchmem -count 6 | tee .github/bench-solvers-baseline.txt
+
+# Regenerate BENCH_simscale.json: scheduler throughput under the hold model
+# (heap vs calendar queue at N up to 10⁵ pending events), end-to-end task
+# throughput of the cell-sharded simulation, and warm solve-cache lookup
+# throughput single-lock vs striped. CI uploads this as an artifact.
+bench-simscale:
+	$(GO) run ./cmd/bench -simscale
+
+# Refresh the committed engine-benchmark baseline for the informational
+# benchstat comparison in CI. Run on a quiet machine.
+bench-simscale-baseline:
+	$(GO) test ./internal/netsim/ -run '^$$' -bench 'BenchmarkEngine' \
+		-benchtime 1000000x -benchmem -count 6 | tee .github/bench-simscale-baseline.txt
 
 repro:
 	$(GO) run ./cmd/repro

@@ -4,14 +4,21 @@
 //
 //   - per-experiment wall time, serial (1 worker) vs the full pool, with the
 //     resulting speedup — the solve cache is reset before every timed run so
-//     neither pass rides on the other's warm cache;
+//     neither pass rides on the other's warm cache. Each experiment gets one
+//     untimed warmup pass and then -passes interleaved serial/parallel pairs,
+//     with the minimum of each side reported: a single serial-then-parallel
+//     ordering credits the second pass with the first pass's page-cache,
+//     heap-size, and branch-predictor warmup, which manufactured both fake
+//     speedups and fake regressions on quiet single-core machines;
 //   - the end-to-end E1–E16 wall time at both worker counts;
 //   - microbenchmarks (ns/op, B/op, allocs/op via testing.Benchmark) for the
 //     simulator's serve hot path, the uncached Burer–Monteiro ascent, and a
 //     warm solve-cache hit.
 //
-// Speedups scale with GOMAXPROCS; on a single-core machine they hover near
-// 1.0 and the hot-path numbers carry the story. The report records both so
+// Speedups scale with GOMAXPROCS; on a single-core machine the pool width
+// resolves to 1, both passes are the identical serial code, and the report
+// carries speedup 1.0 by construction — the hot-path numbers carry the
+// story there. The report records GOMAXPROCS and the worker count so
 // results from different machines stay comparable.
 //
 // Long bench runs are supervised by the run control plane: -timeout bounds
@@ -63,6 +70,7 @@ type report struct {
 	GoVersion       string             `json:"go_version"`
 	GOMAXPROCS      int                `json:"gomaxprocs"`
 	Workers         int                `json:"workers"`
+	Passes          int                `json:"passes"`
 	Seed            uint64             `json:"seed"`
 	Scale           float64            `json:"scale"`
 	Experiments     []experimentTiming `json:"experiments"`
@@ -88,6 +96,36 @@ func timeRun(workers int, fn func()) time.Duration {
 	return time.Since(start)
 }
 
+// timePair measures fn serially and at w workers: one untimed warmup, then
+// `passes` interleaved serial/parallel pairs, reporting the minimum of each
+// side. Interleaving cancels slow drift on a shared machine, and min-of-K is
+// the standard noise floor estimator — both sides converge to their true
+// cost instead of whichever pass ran on the quieter slice of wall clock.
+func timePair(w, passes int, fn func()) (ser, par time.Duration) {
+	timeRun(1, fn) // warmup: page cache, heap growth, branch predictors
+	for k := 0; k < passes; k++ {
+		if d := timeRun(1, fn); k == 0 || d < ser {
+			ser = d
+		}
+		if w == 1 {
+			continue
+		}
+		if d := timeRun(w, fn); k == 0 || d < par {
+			par = d
+		}
+	}
+	if w == 1 {
+		// On a single-core machine the pool width resolves to 1 and the
+		// "parallel" pass would execute the byte-for-byte identical serial
+		// fast path. Timing the same code twice and dividing reports pure
+		// machine noise as a speedup — the committed report once carried a
+		// fake 1.37× on E1 and a fake 0.97× "regression" on E2 this way.
+		// One measurement is the truth for both sides.
+		par = ser
+	}
+	return ser, par
+}
+
 func speedup(serial, par time.Duration) float64 {
 	if par <= 0 {
 		return 0
@@ -100,7 +138,9 @@ func main() {
 	seed := flag.Uint64("seed", 42, "master seed")
 	scale := flag.Float64("scale", 1.0, "experiment scale factor")
 	workers := flag.Int("workers", 0, "pool width for the parallel pass (0 = GOMAXPROCS)")
+	passes := flag.Int("passes", 3, "interleaved serial/parallel pairs per experiment (min of each side is reported)")
 	solvers := flag.Bool("solvers", false, "benchmark the solver kernels only (flat vs reference) and write a solver report instead of the parallel one")
+	simscale := flag.Bool("simscale", false, "benchmark the scaled simulator stack (calendar engine, sharded sim, striped cache) and write BENCH_simscale.json")
 	timeout := flag.Duration("timeout", 0, "whole-run deadline; passes measured so far are written as a partial report (0 = none)")
 	metricsPath := flag.String("metrics", "", "write a JSON metrics artifact for the whole bench run (- for stdout)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
@@ -113,6 +153,18 @@ func main() {
 			path = "BENCH_solvers.json"
 		}
 		runSolverBench(path)
+		return
+	}
+	if *simscale {
+		path := *out
+		if path == "BENCH_parallel.json" { // flag left at default
+			path = "BENCH_simscale.json"
+		}
+		w := *workers
+		if w <= 0 {
+			w = parallel.DefaultWorkers()
+		}
+		runSimscaleBench(path, w, *passes)
 		return
 	}
 
@@ -146,6 +198,7 @@ func main() {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Workers:    w,
+		Passes:     *passes,
 		Seed:       *seed,
 		Scale:      *scale,
 	}
@@ -155,8 +208,7 @@ func main() {
 			break
 		}
 		pass := func() { e.Run(io.Discard, opts) }
-		ser := timeRun(1, pass)
-		par := timeRun(w, pass)
+		ser, par := timePair(w, *passes, pass)
 		rep.Experiments = append(rep.Experiments, experimentTiming{
 			ID: e.ID, SerialMS: ms(ser), ParallelMS: ms(par), Speedup: speedup(ser, par),
 		})
@@ -165,8 +217,16 @@ func main() {
 	}
 
 	if ctrl.Err() == nil {
+		// The end-to-end pair is measured once each (already warm from the
+		// per-experiment passes): its job is the aggregate picture, and
+		// 2×10s more of min-of-K would double the bench's runtime for a
+		// number the per-experiment rows already pin down. Same w==1 rule
+		// as timePair: both sides are the same code, measure once.
 		totalSer := timeRun(1, func() { experiments.RunAll(io.Discard, opts, 1) })
-		totalPar := timeRun(w, func() { experiments.RunAll(io.Discard, opts, w) })
+		totalPar := totalSer
+		if w > 1 {
+			totalPar = timeRun(w, func() { experiments.RunAll(io.Discard, opts, w) })
+		}
 		rep.TotalSerialMS, rep.TotalParallelMS = ms(totalSer), ms(totalPar)
 		rep.TotalSpeedup = speedup(totalSer, totalPar)
 		fmt.Fprintf(os.Stderr, "E1-E16 end-to-end: serial %.1fms, parallel(%d) %.1fms, %.2fx\n",

@@ -40,6 +40,8 @@ func main() {
 	noise := flag.Bool("noise", false, "run the E6 visibility sweep instead of the strategy comparison")
 	ablation := flag.Bool("ablation", false, "run the server-discipline ablation")
 	chaos := flag.Bool("faults", false, "run the E17 queueing-under-outage experiment")
+	scale := flag.Int("scale", 1, "cell count: tile the N-balancer system this many times (scale×N endpoints total); >1 selects the sharded runner")
+	shards := flag.Int("shards", 0, "worker goroutines for the sharded runner (0 = GOMAXPROCS); never affects results, only wall time")
 	timeout := flag.Duration("timeout", 0, "whole-run deadline (0 = none)")
 	loadsFlag := flag.String("loads", "0.5,0.7,0.85,0.95,1.0,1.05,1.1,1.15,1.2,1.25,1.3,1.4", "comma-separated N/M load points")
 	csvPath := flag.String("csv", "", "also write the Figure 4 series to this CSV file")
@@ -63,6 +65,8 @@ func main() {
 	defer stop()
 
 	switch {
+	case *scale > 1:
+		runScaled(ctrl, base, loads, *seed, *scale, *shards)
 	case *chaos:
 		runFaultedQueue(base, *seed)
 	case *noise:

@@ -30,10 +30,28 @@ func (r BatchResult) HasAdvantage() bool {
 	return r.Quantum.Bias > r.Classical.Bias+AdvantageTolerance
 }
 
-// batchChunk is the number of games one worker claims at a time: large
+// batchChunk caps the number of games one worker claims at a time: large
 // enough to amortize scratch reuse and pool scheduling, small enough to
 // keep the tail balanced.
 const batchChunk = 16
+
+// chunkFor picks the actual chunk size: at most batchChunk, but never so
+// coarse that the pool sees fewer than ~4 chunks per worker. A fixed
+// 16-game chunk left a 150-trial Figure 3 batch with only 10 chunks — on a
+// wide pool most workers sat idle through the tail, which is exactly the
+// granularity loss the E2 speedup measurement exposed. Chunk size only
+// affects scheduling, never results: each game is solved from its own
+// index regardless of which chunk carried it.
+func chunkFor(n, workers int) int {
+	c := batchChunk
+	if byBalance := n / (4 * workers); byBalance < c {
+		c = byBalance
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
 
 // SolveBatch solves every game both classically and quantum over the
 // parallel pool (workers <= 0 means the pool default; 1 runs serially) and
@@ -53,10 +71,15 @@ func SolveBatchFrom(n int, gen func(i int) *XORGame, workers int) []BatchResult 
 		return nil
 	}
 	out := make([]BatchResult, n)
-	chunks := (n + batchChunk - 1) / batchChunk
+	w := workers
+	if w <= 0 {
+		w = parallel.DefaultWorkers()
+	}
+	chunk := chunkFor(n, w)
+	chunks := (n + chunk - 1) / chunk
 	parallel.ForEachN(workers, chunks, func(c int) {
-		lo := c * batchChunk
-		hi := lo + batchChunk
+		lo := c * chunk
+		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}

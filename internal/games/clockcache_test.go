@@ -126,11 +126,10 @@ func TestClockCacheReset(t *testing.T) {
 // (correctly) on their next appearance.
 func TestSolveCacheEvictionCounter(t *testing.T) {
 	ResetSolveCache()
-	// Swap in a tiny cache; restore the full-size one afterwards.
-	solveCache.mu.Lock()
-	solveCache.classical = newClockCache[ClassicalResult](2)
-	solveCache.mu.Unlock()
-	defer ResetSolveCache()
+	// Swap in a single shard of capacity 2 so all three games contend for
+	// the same tiny store; restore the full-size striped cache afterwards.
+	solveShards.Store(newSolveShardSet(1, 2))
+	defer SetSolveCacheShards(defaultSolveCacheShards)
 
 	games := []*XORGame{
 		NewCHSH(),

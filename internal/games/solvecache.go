@@ -2,9 +2,10 @@ package games
 
 import (
 	"encoding/binary"
-	"hash/fnv"
 	"math"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/metrics"
 	"repro/internal/xrand"
@@ -14,29 +15,86 @@ import (
 // through its sign matrix M[x][y] = π(x,y)·(−1)^parity, so identical games
 // (CHSH solved by every paired-strategy constructor, the ≤2^10 labelings of
 // the Figure 3 K5 ensemble re-drawn thousands of times) are solved once per
-// process instead of once per construction. The cache is safe for
-// concurrent use — the parallel experiment driver and the Figure 3 trial
-// fan-out hit it from many goroutines.
+// process instead of once per construction.
+//
+// The cache is striped: the sign-matrix key hashes to one of 2^k shards,
+// each with its own mutex and CLOCK-evicting store. Under the parallel
+// experiment driver and the sharded simulation runner, dozens of goroutines
+// hit the cache at once; a single mutex serializes them all on a ~100 ns
+// critical section, while striping lets lookups for different games proceed
+// concurrently. Shard selection reuses the FNV-64a hash already computed
+// for the solver's restart stream, so striping adds no extra hashing.
 
-// solveCacheMaxEntries bounds memory: past the cap the clock sweep evicts
-// a cold entry to make room for each new game. Far above any experiment's
-// working set (Figure 3 on K_n has at most 2^(n(n−1)/2) distinct labelings;
-// n=5 gives 1024), so eviction only matters for adversarial or exploratory
-// workloads — which now degrade to LRU-like behavior instead of permanently
-// refusing to cache anything new.
+// solveCacheMaxEntries bounds memory across ALL shards: the per-shard
+// capacity is the total divided by the shard count, so reconfiguring the
+// stripe width never changes the cache's memory ceiling. Far above any
+// experiment's working set (Figure 3 on K_n has at most 2^(n(n−1)/2)
+// distinct labelings; n=5 gives 1024), so eviction only matters for
+// adversarial or exploratory workloads — which degrade to LRU-like behavior
+// instead of permanently refusing to cache anything new.
 const solveCacheMaxEntries = 1 << 16
 
-var solveCache struct {
+// defaultSolveCacheShards is the stripe width: enough to make lock
+// collisions rare at the experiment driver's worker counts (birthday bound:
+// 8 workers over 16 shards collide on ~1/3 of concurrent lookups, and the
+// critical section is two map operations), small enough that per-shard
+// capacity stays deep.
+const defaultSolveCacheShards = 16
+
+// solveShard is one stripe: a mutex guarding a classical and a quantum
+// store, plus per-shard effectiveness counters (labeled by shard index)
+// that let the balance of the hash be observed at runtime.
+type solveShard struct {
 	mu        sync.Mutex
 	classical *clockCache[ClassicalResult]
 	quantum   *clockCache[QuantumResult]
+
+	classicalHits, classicalMisses, classicalUnretained *metrics.Counter
+	quantumHits, quantumMisses, quantumUnretained       *metrics.Counter
 }
 
-// Cache effectiveness counters, one set per solver. "unretained" counts
-// entries pushed out by the clock eviction — the metric keeps its
-// historical name, but it now means "a result was cached and later evicted"
-// rather than "a result was never cached"; either way it is the signal that
-// solveCacheMaxEntries needs revisiting if it ever climbs.
+// solveShardSet is an immutable shard configuration. Reconfiguration
+// (SetSolveCacheShards, ResetSolveCache) swaps the whole set atomically;
+// a solve already in flight may finish against the old set, which at worst
+// loses that one cache insert.
+type solveShardSet struct {
+	shards []*solveShard
+	mask   uint64
+	perCap int // per-shard clockCache capacity
+}
+
+func newSolveShardSet(n, totalCap int) *solveShardSet {
+	perCap := totalCap / n
+	if perCap < 1 {
+		perCap = 1
+	}
+	s := &solveShardSet{shards: make([]*solveShard, n), mask: uint64(n - 1), perCap: perCap}
+	for i := range s.shards {
+		lbl := strconv.Itoa(i)
+		s.shards[i] = &solveShard{
+			classicalHits:       metrics.Default().Counter("solvecache_shard_hits", "solver", "classical", "shard", lbl),
+			classicalMisses:     metrics.Default().Counter("solvecache_shard_misses", "solver", "classical", "shard", lbl),
+			classicalUnretained: metrics.Default().Counter("solvecache_shard_unretained", "solver", "classical", "shard", lbl),
+			quantumHits:         metrics.Default().Counter("solvecache_shard_hits", "solver", "quantum", "shard", lbl),
+			quantumMisses:       metrics.Default().Counter("solvecache_shard_misses", "solver", "quantum", "shard", lbl),
+			quantumUnretained:   metrics.Default().Counter("solvecache_shard_unretained", "solver", "quantum", "shard", lbl),
+		}
+	}
+	return s
+}
+
+var solveShards atomic.Pointer[solveShardSet]
+
+func init() {
+	solveShards.Store(newSolveShardSet(defaultSolveCacheShards, solveCacheMaxEntries))
+}
+
+// Cache effectiveness counters, one set per solver, aggregated across all
+// shards (the per-shard counters carry a "shard" label and sum to these).
+// "unretained" counts entries pushed out by the clock eviction — the metric
+// keeps its historical name, but it now means "a result was cached and
+// later evicted" rather than "a result was never cached"; either way it is
+// the signal that solveCacheMaxEntries needs revisiting if it ever climbs.
 var (
 	classicalHits       = metrics.Default().Counter("solvecache_hits", "solver", "classical")
 	classicalMisses     = metrics.Default().Counter("solvecache_misses", "solver", "classical")
@@ -46,13 +104,36 @@ var (
 	quantumUnretained   = metrics.Default().Counter("solvecache_unretained", "solver", "quantum")
 )
 
-// ResetSolveCache empties the process-wide solve cache. Benchmarks use it
-// to measure the uncached path; no other caller should need it.
+// SolveCacheShards returns the current stripe width of the solve cache.
+func SolveCacheShards() int { return len(solveShards.Load().shards) }
+
+// SetSolveCacheShards reconfigures the solve cache to use n stripes,
+// dropping all cached entries. n is rounded up to a power of two and
+// clamped to [1, 256]; the applied value is returned. The total capacity
+// bound is unchanged — per-shard capacity shrinks as the stripe count
+// grows. SetSolveCacheShards(1) degenerates to the single-lock cache,
+// which cmd/bench uses as the contention baseline.
+func SetSolveCacheShards(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > 256 {
+		n = 256
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	solveShards.Store(newSolveShardSet(p, solveCacheMaxEntries))
+	return p
+}
+
+// ResetSolveCache empties the process-wide solve cache, keeping the current
+// stripe width. Benchmarks use it to measure the uncached path; no other
+// caller should need it.
 func ResetSolveCache() {
-	solveCache.mu.Lock()
-	defer solveCache.mu.Unlock()
-	solveCache.classical = nil
-	solveCache.quantum = nil
+	cur := solveShards.Load()
+	solveShards.Store(newSolveShardSet(len(cur.shards), solveCacheMaxEntries))
 }
 
 // signKey serializes the sign matrix into a map key. Shape is included so
@@ -73,39 +154,57 @@ func (g *XORGame) signKey() string {
 	return string(buf)
 }
 
+// solveKeyHash is FNV-64a over the sign key. One hash serves two masters:
+// the quantum solver's restart stream seed (internalSolveRNG) and the shard
+// index (hash & mask) — both are pure functions of the game, so neither
+// depends on which goroutine arrives first.
+func solveKeyHash(key string) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
 // internalSolveRNG builds the quantum solver's restart stream from the
 // game's own key, making the solve a pure function of the game: calls are
 // deterministic no matter which goroutine first populates the cache.
 func internalSolveRNG(key string) *xrand.RNG {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	return xrand.New(h.Sum64(), 0x7151e150)
+	return xrand.New(solveKeyHash(key), 0x7151e150)
 }
 
 // cachedClassical returns the memoized classical optimum, computing it on
 // first use. The returned result shares no slices with the cache.
 func (g *XORGame) cachedClassical() ClassicalResult {
 	key := g.signKey()
-	solveCache.mu.Lock()
+	set := solveShards.Load()
+	sh := set.shards[solveKeyHash(key)&set.mask]
+
+	sh.mu.Lock()
 	var r ClassicalResult
 	var ok bool
-	if solveCache.classical != nil {
-		r, ok = solveCache.classical.get(key)
+	if sh.classical != nil {
+		r, ok = sh.classical.get(key)
 	}
-	solveCache.mu.Unlock()
+	sh.mu.Unlock()
 	if ok {
 		classicalHits.Inc()
+		sh.classicalHits.Inc()
 	} else {
 		classicalMisses.Inc()
+		sh.classicalMisses.Inc()
 		r = g.classicalValueUncached()
-		solveCache.mu.Lock()
-		if solveCache.classical == nil {
-			solveCache.classical = newClockCache[ClassicalResult](solveCacheMaxEntries)
+		sh.mu.Lock()
+		if sh.classical == nil {
+			sh.classical = newClockCache[ClassicalResult](set.perCap)
 		}
-		evicted := solveCache.classical.put(key, r)
-		solveCache.mu.Unlock()
+		evicted := sh.classical.put(key, r)
+		sh.mu.Unlock()
 		if evicted {
 			classicalUnretained.Inc()
+			sh.classicalUnretained.Inc()
 		}
 	}
 	return ClassicalResult{Bias: r.Bias, Value: r.Value, A: copyInts(r.A), B: copyInts(r.B)}
@@ -116,26 +215,32 @@ func (g *XORGame) cachedClassical() ClassicalResult {
 // result shares no slices with the cache.
 func (g *XORGame) cachedQuantum() QuantumResult {
 	key := g.signKey()
-	solveCache.mu.Lock()
+	set := solveShards.Load()
+	sh := set.shards[solveKeyHash(key)&set.mask]
+
+	sh.mu.Lock()
 	var r QuantumResult
 	var ok bool
-	if solveCache.quantum != nil {
-		r, ok = solveCache.quantum.get(key)
+	if sh.quantum != nil {
+		r, ok = sh.quantum.get(key)
 	}
-	solveCache.mu.Unlock()
+	sh.mu.Unlock()
 	if ok {
 		quantumHits.Inc()
+		sh.quantumHits.Inc()
 	} else {
 		quantumMisses.Inc()
+		sh.quantumMisses.Inc()
 		r = g.quantumValueUncached(internalSolveRNG(key))
-		solveCache.mu.Lock()
-		if solveCache.quantum == nil {
-			solveCache.quantum = newClockCache[QuantumResult](solveCacheMaxEntries)
+		sh.mu.Lock()
+		if sh.quantum == nil {
+			sh.quantum = newClockCache[QuantumResult](set.perCap)
 		}
-		evicted := solveCache.quantum.put(key, r)
-		solveCache.mu.Unlock()
+		evicted := sh.quantum.put(key, r)
+		sh.mu.Unlock()
 		if evicted {
 			quantumUnretained.Inc()
+			sh.quantumUnretained.Inc()
 		}
 	}
 	return QuantumResult{

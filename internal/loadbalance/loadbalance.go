@@ -69,148 +69,57 @@ type queued struct {
 	arrivalSlot int
 }
 
-// Server holds a FIFO queue of tasks. The queue lives in buf[head:]; popping
-// the front advances head instead of shifting, a removal from the middle
-// shifts only the (short, usually empty) prefix of non-matching tasks in
-// front of it, and the type-C count short-circuits the common "no such
-// type queued" and "only that type queued" scans. Together these turn the
-// simulator's per-slot service step from O(queue) copying with a fresh
-// []queued allocation into near-constant work on a reused buffer.
+// Server is a thin single-queue view over a World, kept for API (and test)
+// compatibility with the pre-SoA simulator. The simulation hot path no
+// longer touches it — Run works on the World columns directly — but the
+// discipline semantics exercised through a Server are exactly the World's:
+// every method delegates to the same code the full simulation runs.
 type Server struct {
-	buf  []queued
-	head int
-	numC int // type-C tasks currently queued
+	w  *World
+	id int
+}
+
+// world returns the backing single-server World, creating it on first use so
+// the zero value stays ready.
+func (s *Server) world() *World {
+	if s.w == nil {
+		s.w = NewWorld(1)
+	}
+	return s.w
 }
 
 // Len returns the server's queue length.
-func (s *Server) Len() int { return len(s.buf) - s.head }
+func (s *Server) Len() int { return s.world().QueueLen(s.id) }
 
 // push appends a task to the queue tail.
 func (s *Server) push(q queued) {
-	if s.head > 0 && len(s.buf) == cap(s.buf) {
-		// Reclaim the consumed prefix before growing the backing array.
-		n := copy(s.buf, s.buf[s.head:])
-		s.buf = s.buf[:n]
-		s.head = 0
-	}
-	s.buf = append(s.buf, q)
-	if q.task.Type == workload.TypeC {
-		s.numC++
-	}
+	s.world().push(s.id, rec{meta: packTask(q.task), arrival: int32(q.arrivalSlot)})
 }
 
 // numOfType returns how many queued tasks have the given type.
-func (s *Server) numOfType(t workload.TaskType) int {
-	if t == workload.TypeC {
-		return s.numC
-	}
-	return s.Len() - s.numC
-}
+func (s *Server) numOfType(t workload.TaskType) int { return s.world().numOfType(s.id, t) }
 
-// firstOfType returns the buf index of the oldest queued task of type t,
-// or -1. The count fast paths skip the scan when the queue holds none (or
-// nothing but) that type — the two overwhelmingly common cases under the
-// Bernoulli workloads.
-func (s *Server) firstOfType(t workload.TaskType) int {
-	n := s.numOfType(t)
-	if n == 0 {
-		return -1
-	}
-	if n == s.Len() {
-		return s.head
-	}
-	for i := s.head; i < len(s.buf); i++ {
-		if s.buf[i].task.Type == t {
-			return i
-		}
-	}
-	return -1
-}
+// firstOfType returns the buf index of the oldest queued task of type t, or -1.
+func (s *Server) firstOfType(t workload.TaskType) int { return s.world().firstOfType(s.id, t) }
 
-// firstOfClass returns the buf index of the oldest queued task of type t
-// and the given class, or -1.
-func (s *Server) firstOfClass(t workload.TaskType, class int) int {
-	if s.numOfType(t) == 0 {
-		return -1
-	}
-	for i := s.head; i < len(s.buf); i++ {
-		if s.buf[i].task.Type == t && s.buf[i].task.Class == class {
-			return i
-		}
-	}
-	return -1
-}
+// frontIdx returns the buf index of the queue front (valid while non-empty).
+func (s *Server) frontIdx() int { return int(s.world().head[s.id]) }
 
 // removeAt removes and returns the task at buf index i, preserving the
-// relative order of the rest: the prefix buf[head:i] shifts right by one.
-// For i == head (the usual case) this is a pure pointer bump.
+// relative order of the rest.
 func (s *Server) removeAt(i int) queued {
-	q := s.buf[i]
-	copy(s.buf[s.head+1:i+1], s.buf[s.head:i])
-	s.head++
-	if q.task.Type == workload.TypeC {
-		s.numC--
-	}
-	if s.head == len(s.buf) {
-		s.buf = s.buf[:0]
-		s.head = 0
-	}
-	return q
+	r := s.world().removeAt(s.id, i)
+	return queued{task: r.task(), arrivalSlot: int(r.arrival)}
 }
 
 // serve applies one slot of the discipline, removing the served tasks from
-// the queue and appending them to out (the caller's reused scratch buffer,
-// at most two entries per slot).
+// the queue and appending them to out.
 func (s *Server) serve(d Discipline, out []queued) []queued {
-	if s.Len() == 0 {
-		return out
+	var scratch [2]rec
+	for _, r := range s.world().serve(s.id, d, scratch[:0]) {
+		out = append(out, queued{task: r.task(), arrivalSlot: int(r.arrival)})
 	}
-	switch d {
-	case BatchCFirst:
-		if idx := s.firstOfType(workload.TypeC); idx >= 0 {
-			out = append(out, s.removeAt(idx))
-			if idx2 := s.firstOfType(workload.TypeC); idx2 >= 0 {
-				out = append(out, s.removeAt(idx2))
-			}
-			return out
-		}
-		return append(out, s.removeAt(s.head))
-	case SingleCFirst:
-		if idx := s.firstOfType(workload.TypeC); idx >= 0 {
-			return append(out, s.removeAt(idx))
-		}
-		return append(out, s.removeAt(s.head))
-	case FIFOBatch:
-		head := s.removeAt(s.head)
-		out = append(out, head)
-		if head.task.Type == workload.TypeC {
-			if idx := s.firstOfType(workload.TypeC); idx >= 0 {
-				out = append(out, s.removeAt(idx))
-			}
-		}
-		return out
-	case EFirst:
-		if idx := s.firstOfType(workload.TypeE); idx >= 0 {
-			return append(out, s.removeAt(idx))
-		}
-		out = append(out, s.removeAt(s.head))
-		if idx := s.firstOfType(workload.TypeC); idx >= 0 {
-			out = append(out, s.removeAt(idx))
-		}
-		return out
-	case BatchSameClassC:
-		if idx := s.firstOfType(workload.TypeC); idx >= 0 {
-			first := s.removeAt(idx)
-			out = append(out, first)
-			if idx2 := s.firstOfClass(workload.TypeC, first.task.Class); idx2 >= 0 {
-				out = append(out, s.removeAt(idx2))
-			}
-			return out
-		}
-		return append(out, s.removeAt(s.head))
-	default:
-		panic("loadbalance: unknown discipline")
-	}
+	return out
 }
 
 // View is the (possibly stale) cluster state a strategy may consult.
@@ -267,6 +176,10 @@ func (c Config) Validate() error {
 	if c.Warmup < 0 {
 		return fmt.Errorf("loadbalance: warmup slots must be non-negative (Warmup = %d)", c.Warmup)
 	}
+	if int64(c.Warmup)+int64(c.Slots) > math.MaxInt32 {
+		// Arrival slots are packed into int32 queue records.
+		return fmt.Errorf("loadbalance: total slots %d exceed the int32 slot index", c.Warmup+c.Slots)
+	}
 	if c.Workload == nil {
 		return fmt.Errorf("loadbalance: nil workload")
 	}
@@ -291,6 +204,12 @@ type Result struct {
 	QueueLenBM *stats.BatchMeans
 }
 
+// batchMeansSlots is the batch size for the autocorrelation-aware queue
+// estimate: 200 slots comfortably exceeds the queue correlation time at the
+// loads the experiments sweep. Sharded runs use the same size so per-cell
+// estimators merge exactly.
+const batchMeansSlots = 200
+
 // Run accounting: aggregate task flow across every simulation this process
 // executes, folded in once per run (no per-slot atomics). "queued_at_end"
 // is this infinite-queue model's drop column: work admitted but never
@@ -303,11 +222,15 @@ var (
 	lbQueuedAtEnd = metrics.Default().Counter("loadbalance_tasks_queued_at_end_total")
 )
 
-// clusterView implements View over the servers' previous-slot queue lengths.
-type clusterView struct{ lens []int }
+// clusterView implements View by aliasing the World's live qlen column.
+// Strategies only read it during Assign, which runs strictly between one
+// slot's view refresh point and the next slot's pushes, so the values they
+// observe are exactly the end-of-previous-slot lengths the stale-view model
+// calls for — without copying a column per slot.
+type clusterView struct{ lens []int32 }
 
 func (v *clusterView) NumServers() int         { return len(v.lens) }
-func (v *clusterView) QueueLen(server int) int { return v.lens[server] }
+func (v *clusterView) QueueLen(server int) int { return int(v.lens[server]) }
 
 // Run executes the simulation and returns aggregated metrics. The run is
 // deterministic in (Config.Seed, strategy). It panics on an invalid config
@@ -330,20 +253,18 @@ func RunE(cfg Config, strat Strategy) (Result, error) {
 		return Result{}, err
 	}
 	rng := xrand.New(cfg.Seed, 0x10adba1)
-	servers := make([]Server, cfg.NumServers)
-	view := &clusterView{lens: make([]int, cfg.NumServers)}
+	world := NewWorld(cfg.NumServers)
+	view := &clusterView{lens: world.qlen}
 	tasks := make([]workload.Task, cfg.NumBalancers)
 	// The assignment buffer and the serve scratch are allocated once and
 	// reused every slot; strategies fill assign in place (see Strategy).
 	assign := make([]int, cfg.NumBalancers)
-	scratch := make([]queued, 0, 2)
+	scratch := make([]rec, 0, 2)
 
 	res := Result{
-		Strategy: strat.Name(),
-		Load:     float64(cfg.NumBalancers) / float64(cfg.NumServers),
-		// Batch size 200 slots comfortably exceeds the queue correlation
-		// time at the loads the experiments sweep.
-		QueueLenBM: stats.NewBatchMeans(200),
+		Strategy:   strat.Name(),
+		Load:       float64(cfg.NumBalancers) / float64(cfg.NumServers),
+		QueueLenBM: stats.NewBatchMeans(batchMeansSlots),
 	}
 
 	tracker, tracksColoc := strat.(ColocationTracker)
@@ -375,7 +296,7 @@ func RunE(cfg Config, strat Strategy) (Result, error) {
 				return res, fmt.Errorf("loadbalance: strategy %s assigned out-of-range server %d",
 					strat.Name(), srv)
 			}
-			servers[srv].push(queued{task: tasks[i], arrivalSlot: slot})
+			world.push(srv, rec{meta: packTask(tasks[i]), arrival: int32(slot)})
 			if measured {
 				res.Arrived++
 			}
@@ -384,26 +305,25 @@ func RunE(cfg Config, strat Strategy) (Result, error) {
 		// 3. Service.
 		slotServed := 0
 		slotDelay := 0.0
-		for s := range servers {
-			scratch = servers[s].serve(cfg.Discipline, scratch[:0])
+		for s := 0; s < cfg.NumServers; s++ {
+			scratch = world.serve(s, cfg.Discipline, scratch[:0])
 			for _, done := range scratch {
 				if measured {
 					res.Served++
-					res.Delay.Add(float64(slot - done.arrivalSlot))
+					res.Delay.Add(float64(slot - int(done.arrival)))
 				}
 				if cfg.Recorder != nil {
 					slotServed++
-					slotDelay += float64(slot - done.arrivalSlot)
+					slotDelay += float64(slot - int(done.arrival))
 				}
 			}
 		}
 
-		// 4. Measurement + refresh the stale view.
+		// 4. Measurement. The view needs no refresh: it aliases world.qlen.
 		slotTotal := 0
 		slotMax := 0
-		for s := range servers {
-			l := servers[s].Len()
-			view.lens[s] = l
+		for _, l32 := range world.qlen {
+			l := int(l32)
 			slotTotal += l
 			if l > slotMax {
 				slotMax = l
@@ -433,9 +353,7 @@ func RunE(cfg Config, strat Strategy) (Result, error) {
 		}
 	}
 
-	for s := range servers {
-		res.QueuedAtEnd += int64(servers[s].Len())
-	}
+	res.QueuedAtEnd = world.totalQueued()
 	if tracksColoc {
 		res.Colocation = *tracker.ColocationStats()
 	}

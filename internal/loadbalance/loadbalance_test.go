@@ -144,12 +144,12 @@ func TestServerQueueBookkeeping(t *testing.T) {
 	}
 	wantOrder := []int{0, 2, 3, 4}
 	for _, want := range wantOrder {
-		if got := s.removeAt(s.head); got.arrivalSlot != want {
+		if got := s.removeAt(s.frontIdx()); got.arrivalSlot != want {
 			t.Fatalf("pop got slot %d, want %d", got.arrivalSlot, want)
 		}
 	}
 	if s.Len() != 0 || s.numOfType(workload.TypeC) != 0 {
-		t.Fatalf("queue not empty after draining: Len=%d numC=%d", s.Len(), s.numC)
+		t.Fatalf("queue not empty after draining: Len=%d numC=%d", s.Len(), s.numOfType(workload.TypeC))
 	}
 	// Interleave pushes and pops long enough to force prefix compaction.
 	for i := 0; i < 1000; i++ {
@@ -158,8 +158,8 @@ func TestServerQueueBookkeeping(t *testing.T) {
 			s.removeAt(s.firstOfType(workload.TypeC))
 		}
 	}
-	if s.Len() != 500 || s.numC != 500 {
-		t.Fatalf("after churn: Len=%d numC=%d, want 500/500", s.Len(), s.numC)
+	if s.Len() != 500 || s.numOfType(workload.TypeC) != 500 {
+		t.Fatalf("after churn: Len=%d numC=%d, want 500/500", s.Len(), s.numOfType(workload.TypeC))
 	}
 }
 

@@ -1,0 +1,186 @@
+package loadbalance
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+func testShardedConfig(cells int) ShardedConfig {
+	return ShardedConfig{
+		Cells:         cells,
+		CellBalancers: 20,
+		CellServers:   20,
+		Warmup:        200,
+		Slots:         1000, // multiple of batchMeansSlots: the merge drops nothing
+		Discipline:    BatchCFirst,
+		Workload:      workload.Bernoulli{PC: 0.5},
+		Seed:          11,
+	}
+}
+
+func quantumCellFactory(seed uint64) CellStrategyFactory {
+	return func(cell int) Strategy {
+		return NewQuantumPairedStrategy(1.0, xrand.Derive(seed, uint64(cell)))
+	}
+}
+
+// resultKey flattens every statistic a Result carries into comparable
+// float64s, so byte-identity across shard counts is checked exactly (==,
+// no tolerance).
+func resultKey(r Result) [10]float64 {
+	return [10]float64{
+		r.QueueLen.Mean(), r.QueueLen.StdDev(), float64(r.QueueLen.Count()),
+		r.Delay.Mean(), float64(r.Delay.Count()),
+		float64(r.Arrived), float64(r.Served), float64(r.QueuedAtEnd),
+		r.Colocation.Rate(), r.QueueLenBM.Mean(),
+	}
+}
+
+// TestShardedInvariantAcrossShards is the determinism pin for the sharded
+// runner: the SAME cell decomposition run with 1, 2, 3, 8, and 32 shard
+// workers must produce exactly the same merged Result — shards are
+// execution concurrency, never model structure.
+func TestShardedInvariantAcrossShards(t *testing.T) {
+	cfg := testShardedConfig(12)
+	var want [10]float64
+	for i, shards := range []int{1, 2, 3, 8, 32} {
+		cfg.Shards = shards
+		res, err := RunSharded(cfg, quantumCellFactory(5))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		key := resultKey(res)
+		if i == 0 {
+			want = key
+			continue
+		}
+		if key != want {
+			t.Fatalf("shards=%d diverged:\n got %v\nwant %v", shards, key, want)
+		}
+	}
+}
+
+// TestShardedMatchesSerialCellFold re-derives the merged result by running
+// every cell serially through RunE and folding in cell order — the sharded
+// runner must match it exactly.
+func TestShardedMatchesSerialCellFold(t *testing.T) {
+	cfg := testShardedConfig(6)
+	cfg.Shards = 4
+	got, err := RunSharded(cfg, quantumCellFactory(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want Result
+	for cell := 0; cell < cfg.Cells; cell++ {
+		r, err := RunE(Config{
+			NumBalancers: cfg.CellBalancers,
+			NumServers:   cfg.CellServers,
+			Warmup:       cfg.Warmup,
+			Slots:        cfg.Slots,
+			Discipline:   cfg.Discipline,
+			Workload:     cfg.Workload,
+			Seed:         xrand.Derive(cfg.Seed, uint64(cell)).Uint64(),
+		}, quantumCellFactory(9)(cell))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.QueueLen.Merge(&r.QueueLen)
+		want.Delay.Merge(&r.Delay)
+		want.Arrived += r.Arrived
+		want.Served += r.Served
+		want.QueuedAtEnd += r.QueuedAtEnd
+	}
+	if got.QueueLen.Mean() != want.QueueLen.Mean() || got.QueueLen.Count() != want.QueueLen.Count() ||
+		got.Delay.Mean() != want.Delay.Mean() ||
+		got.Arrived != want.Arrived || got.Served != want.Served || got.QueuedAtEnd != want.QueuedAtEnd {
+		t.Fatalf("sharded result differs from serial cell fold:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestShardedConservation: task conservation must survive the merge.
+func TestShardedConservation(t *testing.T) {
+	cfg := testShardedConfig(8)
+	cfg.Warmup = 0
+	cfg.Shards = 4
+	res, err := RunSharded(cfg, func(cell int) Strategy { return RandomStrategy{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrived != res.Served+res.QueuedAtEnd {
+		t.Fatalf("conservation violated: arrived %d != served %d + queued %d",
+			res.Arrived, res.Served, res.QueuedAtEnd)
+	}
+	if want := int64(cfg.Cells * cfg.CellBalancers * cfg.Slots); res.Arrived != want {
+		t.Fatalf("arrivals %d, want %d", res.Arrived, want)
+	}
+}
+
+// TestShardedColocationMatchesCHSH: the merged colocation rate over many
+// cells must still be the CHSH win probability cos²(π/8).
+func TestShardedColocationMatchesCHSH(t *testing.T) {
+	cfg := testShardedConfig(10)
+	cfg.Shards = 4
+	res, err := RunSharded(cfg, quantumCellFactory(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Colocation.Rate()-0.8535533905932737) > 0.01 {
+		t.Fatalf("merged colocation rate %v, want cos²(π/8)", res.Colocation.Rate())
+	}
+}
+
+// TestShardedQuantumBeatsClassicalAtScale is the Figure 4 claim at the
+// scaled-up size: near the knee the merged quantum queues stay shorter.
+func TestShardedQuantumBeatsClassicalAtScale(t *testing.T) {
+	cfg := testShardedConfig(10)
+	cfg.CellServers = serversForLoad(cfg.CellBalancers, 1.1)
+	cfg.Shards = 4
+	rq, err := RunSharded(cfg, quantumCellFactory(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := RunSharded(cfg, func(cell int) Strategy { return RandomStrategy{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rq.QueueLen.Mean() >= rc.QueueLen.Mean() {
+		t.Fatalf("at scale, quantum %v not below classical %v",
+			rq.QueueLen.Mean(), rc.QueueLen.Mean())
+	}
+}
+
+// TestShardedValidation rejects malformed configurations.
+func TestShardedValidation(t *testing.T) {
+	good := testShardedConfig(2)
+	for _, mut := range []func(*ShardedConfig){
+		func(c *ShardedConfig) { c.Cells = 0 },
+		func(c *ShardedConfig) { c.CellBalancers = 0 },
+		func(c *ShardedConfig) { c.Slots = 0 },
+		func(c *ShardedConfig) { c.Workload = nil },
+	} {
+		cfg := good
+		mut(&cfg)
+		if _, err := RunSharded(cfg, quantumCellFactory(1)); err == nil {
+			t.Fatalf("config %+v should be rejected", cfg)
+		}
+	}
+}
+
+// TestShardedBatchMeansMergeExact: with Slots a multiple of the batch size,
+// the merged batch-means estimator holds every cell's batches.
+func TestShardedBatchMeansMergeExact(t *testing.T) {
+	cfg := testShardedConfig(5)
+	cfg.Shards = 2
+	res, err := RunSharded(cfg, func(cell int) Strategy { return RandomStrategy{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBatches := int64(cfg.Cells * (cfg.Slots / batchMeansSlots))
+	if res.QueueLenBM.Batches() != wantBatches {
+		t.Fatalf("merged estimator has %d batches, want %d", res.QueueLenBM.Batches(), wantBatches)
+	}
+}

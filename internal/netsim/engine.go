@@ -3,6 +3,13 @@
 // incur speed-of-light propagation delay, while decisions backed by
 // pre-shared entangled qubits complete locally. The engine is deterministic:
 // identical schedules replay identically.
+//
+// Two interchangeable schedulers sit behind the Engine API: the default
+// calendar queue (O(1) amortized, built for 10⁵–10⁶ pending events) and the
+// original binary heap (retained as the differential-test oracle and the
+// baseline the scale benchmarks compare against). Both order events by
+// (at, seq), so the pop sequence — and therefore every simulation result —
+// is byte-identical whichever scheduler runs it.
 package netsim
 
 import (
@@ -11,13 +18,25 @@ import (
 	"time"
 )
 
-// Engine is a discrete-event scheduler. The zero value is ready to use.
+// Engine is a discrete-event scheduler. The zero value is ready to use and
+// runs on the calendar-queue scheduler; NewHeapEngine selects the binary
+// heap.
 type Engine struct {
 	now     time.Duration
-	events  eventHeap
+	sched   scheduler
+	cal     *calendarQueue // non-nil iff sched is the calendar queue: devirtualized hot path
 	seq     uint64
 	stopped bool
 }
+
+// NewEngine returns an engine on the default calendar-queue scheduler
+// (equivalent to a zero-value Engine, spelled out for symmetry).
+func NewEngine() *Engine { return &Engine{} }
+
+// NewHeapEngine returns an engine on the original binary-heap scheduler.
+// It exists for differential tests and scheduler benchmarks; results are
+// identical to the default engine's, only the time complexity differs.
+func NewHeapEngine() *Engine { return &Engine{sched: new(eventHeap)} }
 
 type event struct {
 	at  time.Duration
@@ -25,25 +44,68 @@ type event struct {
 	fn  func()
 }
 
+// less is the engine-wide total order on events: time first, scheduling
+// sequence second. seq is unique, so the order has no further ties.
+func (e event) less(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// scheduler is the priority-queue contract both engines implement: push
+// accepts any event at or after the last popped time, pop returns events in
+// (at, seq) order, and peekAt exposes the next timestamp without dequeuing.
+type scheduler interface {
+	push(event)
+	pop() (event, bool)
+	peekAt() (time.Duration, bool)
+	len() int
+}
+
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].less(h[j]) }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func (h *eventHeap) push(e event) { heap.Push(h, e) }
+func (h *eventHeap) pop() (event, bool) {
+	if len(*h) == 0 {
+		return event{}, false
 	}
-	return h[i].seq < h[j].seq
+	return heap.Pop(h).(event), true
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event   { return h[0] }
+func (h *eventHeap) peekAt() (time.Duration, bool) {
+	if len(*h) == 0 {
+		return 0, false
+	}
+	return (*h)[0].at, true
+}
+func (h *eventHeap) len() int { return len(*h) }
+
+// scheduler returns the engine's event queue, installing the default
+// calendar queue on first use so the zero value stays ready.
+func (e *Engine) scheduler() scheduler {
+	if e.sched == nil {
+		e.cal = newCalendarQueue()
+		e.sched = e.cal
+	}
+	return e.sched
+}
 
 // Now returns the current simulated time.
 func (e *Engine) Now() time.Duration { return e.now }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return e.events.Len() }
+func (e *Engine) Pending() int {
+	if e.sched == nil {
+		return 0
+	}
+	return e.sched.len()
+}
 
 // Schedule queues fn to run delay after the current simulated time.
 // Negative delays panic: the simulator enforces causality.
@@ -60,17 +122,31 @@ func (e *Engine) ScheduleAt(at time.Duration, fn func()) {
 	if at < e.now {
 		panic(fmt.Sprintf("netsim: scheduling into the past (at %v, now %v)", at, e.now))
 	}
-	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+	ev := event{at: at, seq: e.seq, fn: fn}
 	e.seq++
+	// Static dispatch for the default scheduler: the push/pop pair runs once
+	// per simulated event, and the interface call is measurable at 10⁵+
+	// events per simulated second.
+	if e.cal != nil {
+		e.cal.push(ev)
+		return
+	}
+	e.scheduler().push(ev)
 }
 
 // Step executes the next event, advancing the clock. It returns false when
 // no events remain.
 func (e *Engine) Step() bool {
-	if e.events.Len() == 0 {
+	var ev event
+	var ok bool
+	if e.cal != nil {
+		ev, ok = e.cal.pop()
+	} else {
+		ev, ok = e.scheduler().pop()
+	}
+	if !ok {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
 	if ev.at < e.now {
 		panic("netsim: causality violation — event timestamp before current time")
 	}
@@ -96,7 +172,11 @@ func (e *Engine) Run(maxEvents int) int {
 // RunUntil executes events with timestamps ≤ t, then sets the clock to t.
 func (e *Engine) RunUntil(t time.Duration) {
 	e.stopped = false
-	for !e.stopped && e.events.Len() > 0 && e.events.peek().at <= t {
+	for !e.stopped {
+		at, ok := e.scheduler().peekAt()
+		if !ok || at > t {
+			break
+		}
 		e.Step()
 	}
 	if !e.stopped && e.now < t {

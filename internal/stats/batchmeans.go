@@ -70,3 +70,18 @@ func (b *BatchMeans) StdErr() float64 {
 	}
 	return b.batches.StdErr()
 }
+
+// Merge combines another estimator's completed batches into b (parallel
+// batch-means merge, used by the sharded simulation runner). Both estimators
+// must use the same batch size. An in-progress partial batch in o is
+// DROPPED: its samples never formed a batch, and gluing two shards' partial
+// batches together would manufacture a batch mean spanning a shard boundary
+// that no serial run would produce. Callers that cannot afford the loss
+// (at most batchSize−1 samples per merged estimator) should feed each shard
+// a sample count that is a multiple of the batch size.
+func (b *BatchMeans) Merge(o *BatchMeans) {
+	if b.batchSize != o.batchSize {
+		panic("stats: merging batch-means estimators with different batch sizes")
+	}
+	b.batches.Merge(&o.batches)
+}
