@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify race lint bench bench-report bench-solvers bench-solvers-baseline bench-simscale bench-simscale-baseline repro soak clean
+.PHONY: build test verify race lint bench bench-report bench-solvers bench-solvers-baseline bench-simscale bench-simscale-baseline repro soak qcoordd-smoke clean
 
 build:
 	$(GO) build ./...
@@ -74,6 +74,16 @@ repro:
 # crank -cycles/-scale for a longer burn.
 soak: build
 	$(GO) run ./cmd/soak -cycles 3 -scale 0.05 > soak.log 2>&1; s=$$?; cat soak.log; exit $$s
+
+# Serving smoke at full scale: build qcoordd with the race detector, start
+# it as a real process, register 64 sessions each scripted with a source
+# outage, drive 10k concurrent decisions (every one must succeed), require
+# every session to degrade and recover, then SIGTERM and require a clean
+# drain — exit 0 and a valid final metrics artifact. The same test runs at
+# reduced scale (16×2k) in the plain tier-1 `go test ./...` pass.
+qcoordd-smoke: build
+	QCOORDD_SMOKE_SESSIONS=64 QCOORDD_SMOKE_DECISIONS=10000 \
+		$(GO) test -race -v -timeout 20m -run TestQcoorddSmoke ./cmd/qcoordd/
 
 clean:
 	$(GO) clean ./...

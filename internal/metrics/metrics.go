@@ -233,11 +233,37 @@ func (r *Registry) Reset() {
 }
 
 // Get returns the snapshot value for a key (timers: use the expanded
-// suffixed keys), or false when absent.
+// suffixed keys), or false when absent. It resolves the key with direct map
+// lookups — counters, then gauges, then the four timer expansions — instead
+// of building and sorting a full Snapshot per call, so per-request paths
+// (the qcoordd health endpoint) can use it without O(instruments·log) work.
 func (r *Registry) Get(key string) (float64, bool) {
-	for _, kv := range r.Snapshot() {
-		if kv.Key == key {
-			return kv.Value, true
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[key]; ok {
+		return float64(c.Value()), true
+	}
+	if g, ok := r.gauges[key]; ok {
+		return g.Value(), true
+	}
+	if base, ok := strings.CutSuffix(key, "_count"); ok {
+		if t, ok := r.timers[base]; ok {
+			return float64(t.Count()), true
+		}
+	}
+	if base, ok := strings.CutSuffix(key, "_total_ns"); ok {
+		if t, ok := r.timers[base]; ok {
+			return float64(t.Total()), true
+		}
+	}
+	if base, ok := strings.CutSuffix(key, "_mean_ns"); ok {
+		if t, ok := r.timers[base]; ok {
+			return float64(t.Mean()), true
+		}
+	}
+	if base, ok := strings.CutSuffix(key, "_max_ns"); ok {
+		if t, ok := r.timers[base]; ok {
+			return float64(t.Max()), true
 		}
 	}
 	return 0, false

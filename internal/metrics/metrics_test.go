@@ -3,6 +3,7 @@ package metrics
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -113,6 +114,106 @@ func TestConcurrentUpdates(t *testing.T) {
 	if c.Value() != 8000 || tm.Count() != 8000 {
 		t.Fatalf("lost updates: counter %d timer %d", c.Value(), tm.Count())
 	}
+}
+
+func TestGetResolvesEveryInstrumentKind(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("decisions_total", "session", "s1").Add(41)
+	r.Gauge("level").Set(2.5)
+	tm := r.Timer("decide")
+	tm.Observe(10 * time.Nanosecond)
+	tm.Observe(30 * time.Nanosecond)
+
+	cases := map[string]float64{
+		"decisions_total{session=s1}": 41,
+		"level":                       2.5,
+		"decide_count":                2,
+		"decide_total_ns":             40,
+		"decide_mean_ns":              20,
+		"decide_max_ns":               30,
+	}
+	for key, want := range cases {
+		got, ok := r.Get(key)
+		if !ok || got != want {
+			t.Fatalf("Get(%q) = %v, %v; want %v, true", key, got, ok, want)
+		}
+	}
+	for _, key := range []string{"absent", "decide", "decide_min_ns", "level_count"} {
+		if _, ok := r.Get(key); ok {
+			t.Fatalf("Get(%q) should be absent", key)
+		}
+	}
+	// Every key a Snapshot renders must resolve to the same value via Get.
+	for _, kv := range r.Snapshot() {
+		got, ok := r.Get(kv.Key)
+		if !ok || got != kv.Value {
+			t.Fatalf("Get(%q) = %v, %v; snapshot has %v", kv.Key, got, ok, kv.Value)
+		}
+	}
+}
+
+func TestGetDoesNotBuildSnapshot(t *testing.T) {
+	// Regression for the pre-fix Get, which built and sorted a full
+	// Snapshot per lookup — O(instruments·log) work and a fresh slice on a
+	// per-request path. A direct map lookup allocates nothing.
+	r := NewRegistry()
+	for i := 0; i < 256; i++ {
+		r.Counter("c", "i", fmt.Sprint(i)).Inc()
+		r.Timer("t", "i", fmt.Sprint(i)).Observe(time.Nanosecond)
+	}
+	key := Key("t", "i", "200") + "_mean_ns"
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := r.Get(key); !ok {
+			t.Fatal("key missing")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Get allocates %v objects per lookup; want 0", allocs)
+	}
+}
+
+func TestConcurrentSnapshotResetVsUpdates(t *testing.T) {
+	// The qcoordd daemon snapshots and resets the registry while request
+	// goroutines observe timers and bump counters; run the full matrix
+	// under the race detector.
+	r := NewRegistry()
+	c := r.Counter("reqs")
+	g := r.Gauge("depth")
+	tm := r.Timer("decide")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(float64(i))
+				tm.Observe(time.Duration(i) * time.Nanosecond)
+				// Concurrent instrument creation races the snapshot's map
+				// iteration unless the registry lock covers both.
+				r.Counter("dyn", "w", fmt.Sprint(w)).Inc()
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		snap := r.Snapshot()
+		for _, kv := range snap {
+			if _, ok := r.Get(kv.Key); !ok {
+				t.Errorf("snapshot key %q not resolvable", kv.Key)
+			}
+		}
+		if i%10 == 0 {
+			r.Reset()
+		}
+	}
+	close(stop)
+	wg.Wait()
 }
 
 func TestArtifactRoundTrips(t *testing.T) {

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client is the typed qcoordd API client used by the tests, the smoke
+// harness and the (future) load-test driver. It is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient targets a qcoordd base URL ("http://host:port", no trailing
+// slash needed).
+func NewClient(base string) *Client {
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return &Client{base: base, hc: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// APIError is a non-2xx response, carrying the server's error message.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("qcoordd: HTTP %d: %s", e.Status, e.Message)
+}
+
+// Retryable reports whether the request may be retried verbatim — the
+// drain-mode 503 contract.
+func (e *APIError) Retryable() bool { return e.Status == http.StatusServiceUnavailable }
+
+// do issues one request and decodes the JSON response into out (ignored
+// when nil).
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var ae apiError
+		msg := ""
+		if err := json.NewDecoder(resp.Body).Decode(&ae); err == nil {
+			msg = ae.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// CreateSession registers an endpoint group and provisions its entanglement
+// supply, returning the created session's initial health.
+func (c *Client) CreateSession(ctx context.Context, req SessionRequest) (SessionInfo, error) {
+	var info SessionInfo
+	err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &info)
+	return info, err
+}
+
+// Decide plays one coordination round in a session.
+func (c *Client) Decide(ctx context.Context, session string, x, y int) (DecideResponse, error) {
+	var resp DecideResponse
+	err := c.do(ctx, http.MethodPost, "/v1/decide", DecideRequest{Session: session, X: x, Y: y}, &resp)
+	return resp, err
+}
+
+// Session fetches a session's current health and degradation rung.
+func (c *Client) Session(ctx context.Context, id string) (SessionInfo, error) {
+	var info SessionInfo
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id, nil, &info)
+	return info, err
+}
+
+// Metrics fetches the raw /metrics rendering.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{Status: resp.StatusCode, Message: string(b)}
+	}
+	return string(b), nil
+}

@@ -1,0 +1,333 @@
+// Package serve is the qcoordd serving layer: the paper's decision
+// primitive exposed as a long-lived HTTP API. Balancer endpoint groups
+// register as sessions (POST /v1/sessions), each provisioned with its own
+// entanglement supply chain — engine, pool, SPDC source service and pair
+// budget from internal/entangle — and its own core.HealthMonitor, so a
+// supply fault steps that session down the degradation ladder without
+// touching its neighbors. Decisions (POST /v1/decide) answer in a single
+// session-local lock hold: no cross-endpoint communication, which is the
+// point (Figure 2).
+//
+// Session state is sharded: FNV-64a(session ID) picks one of N
+// mutex-striped shards (the striped-cache pattern from the solve cache), so
+// registration and lookup never take a global lock, and each session's own
+// mutex serializes only its rounds.
+//
+// Shutdown is cooperative: StartDrain stops new sessions and makes further
+// decisions return a retryable 503 while in-flight decisions complete
+// (Drain bounds the wait), after which the owner flushes a final metrics
+// artifact and exits cleanly.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Config parametrizes a Server. The zero value serves with defaults.
+type Config struct {
+	// Shards is the stripe width of the session store, rounded up to a
+	// power of two (default 16).
+	Shards int
+}
+
+// shard is one stripe of the session store: a mutex guarding an ID→session
+// map. The shard lock covers only map access; round-playing work happens
+// under the individual session's lock.
+type shard struct {
+	mu       sync.Mutex
+	sessions map[string]*session
+}
+
+// Server implements the qcoordd HTTP API. Create one with NewServer and
+// mount it (it implements http.Handler).
+type Server struct {
+	mux      *http.ServeMux
+	shards   []*shard
+	mask     uint64
+	reg      *metrics.Registry
+	draining atomic.Bool
+	inflight atomic.Int64 // decisions currently executing
+	nextID   atomic.Uint64
+
+	mSessions     *metrics.Counter
+	mSessionGauge *metrics.Gauge
+	mDecisions    *metrics.Counter
+	mDecideErrs   *metrics.Counter
+	mDrainRejects *metrics.Counter
+	mDecideTimer  *metrics.Timer
+}
+
+// NewServer builds a ready-to-mount server.
+func NewServer(cfg Config) *Server {
+	n := cfg.Shards
+	if n <= 0 {
+		n = 16
+	}
+	// Round up to a power of two so shard selection is a mask, not a mod.
+	w := 1
+	for w < n {
+		w <<= 1
+	}
+	// Everything instruments the process-wide default registry, matching
+	// the repo-wide contract (sessions' HealthMonitors already export
+	// there), so /metrics is the one complete view.
+	reg := metrics.Default()
+	s := &Server{
+		shards:        make([]*shard, w),
+		mask:          uint64(w - 1),
+		reg:           reg,
+		mSessions:     reg.Counter("serve_sessions_created_total"),
+		mSessionGauge: reg.Gauge("serve_sessions_active"),
+		mDecisions:    reg.Counter("serve_decisions_total"),
+		mDecideErrs:   reg.Counter("serve_decide_errors_total"),
+		mDrainRejects: reg.Counter("serve_drain_rejected_total"),
+		mDecideTimer:  reg.Timer("serve_decide"),
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{sessions: make(map[string]*session)}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionInfo)
+	mux.HandleFunc("POST /v1/decide", s.handleDecide)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// fnv64a is the shard hash — same family the striped solve cache uses.
+func fnv64a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// shardFor picks the stripe owning a session ID.
+func (s *Server) shardFor(id string) *shard {
+	return s.shards[fnv64a(id)&s.mask]
+}
+
+// lookup resolves a session ID, or nil.
+func (s *Server) lookup(id string) *session {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.sessions[id]
+}
+
+// SessionCount returns the number of registered sessions across all shards.
+func (s *Server) SessionCount() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.sessions)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeDraining answers a request rejected by shutdown: 503 with
+// Retry-After, the retryable contract clients key on.
+func writeDraining(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, "server is draining")
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.mDrainRejects.Inc()
+		writeDraining(w)
+		return
+	}
+	var req SessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad session request: %v", err)
+		return
+	}
+	id := req.ID
+	if id == "" {
+		id = fmt.Sprintf("s-%06d", s.nextID.Add(1))
+	}
+	sess, err := newSession(id, req, time.Now())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "session: %v", err)
+		return
+	}
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	if _, exists := sh.sessions[id]; exists {
+		sh.mu.Unlock()
+		sess.stop()
+		writeError(w, http.StatusConflict, "session %q already exists", id)
+		return
+	}
+	sh.sessions[id] = sess
+	sh.mu.Unlock()
+	s.mSessions.Inc()
+	s.mSessionGauge.Set(float64(s.SessionCount()))
+	writeJSON(w, http.StatusCreated, sess.info(false))
+}
+
+func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sess := s.lookup(id)
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "no session %q", id)
+		return
+	}
+	info := sess.info(s.draining.Load())
+	// Health responses carry the server-wide decide latency so a polling
+	// client sees serving load next to session health. The health path may
+	// be polled at high rate, so these resolve with direct Registry.Get
+	// lookups — not a full sorted Snapshot per poll.
+	if v, ok := s.reg.Get("serve_decide_mean_ns"); ok {
+		info.DecideMeanNS = v
+	}
+	if v, ok := s.reg.Get("serve_decisions_total"); ok {
+		info.ServerDecisions = int64(v)
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	// Entry gate: count in-flight first, then honor drain. Drain waits for
+	// the in-flight count, so a decision that passed the gate completes
+	// even if StartDrain lands immediately after.
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if s.draining.Load() {
+		s.mDrainRejects.Inc()
+		writeDraining(w)
+		return
+	}
+	var req DecideRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad decide request: %v", err)
+		return
+	}
+	sess := s.lookup(req.Session)
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "no session %q", req.Session)
+		return
+	}
+	start := time.Now()
+	resp, err := sess.decide(req.X, req.Y)
+	if err != nil {
+		s.mDecideErrs.Inc()
+		writeError(w, http.StatusBadRequest, "decide: %v", err)
+		return
+	}
+	s.mDecideTimer.Observe(time.Since(start))
+	s.mDecisions.Inc()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics renders the registry snapshot as "key value" lines.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, kv := range snap {
+		fmt.Fprintf(w, "%s %s\n", kv.Key, strconv.FormatFloat(kv.Value, 'g', -1, 64))
+	}
+}
+
+// StartDrain flips the server into drain mode: new sessions and new
+// decisions get retryable 503s; decisions already past the gate complete.
+// Idempotent.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether the server is refusing new work.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain waits until every in-flight decision has completed, or the deadline
+// elapses. It returns the number of decisions still in flight (0 on a clean
+// drain). Call StartDrain first.
+func (s *Server) Drain(deadline time.Duration) int64 {
+	if !s.draining.Load() {
+		panic("serve: Drain before StartDrain")
+	}
+	limit := time.Now().Add(deadline)
+	for {
+		n := s.inflight.Load()
+		if n == 0 || time.Now().After(limit) {
+			return n
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// StopSessions halts every session's entanglement source (after drain, so
+// no session engine owes catch-up work past shutdown).
+func (s *Server) StopSessions() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sessions := make([]*session, 0, len(sh.sessions))
+		for _, sess := range sh.sessions {
+			sessions = append(sessions, sess)
+		}
+		sh.mu.Unlock()
+		for _, sess := range sessions {
+			sess.stop()
+		}
+	}
+}
+
+// WriteMetricsArtifact flushes the registry snapshot to path as a
+// machine-readable artifact — the daemon's final act before exit 0.
+func (s *Server) WriteMetricsArtifact(path string) error {
+	a := metrics.NewArtifact("qcoordd")
+	a.Config = map[string]any{
+		"shards":   len(s.shards),
+		"sessions": s.SessionCount(),
+	}
+	a.Metrics = s.reg.Snapshot()
+	return a.WriteFile(path)
+}
+
+// SessionIDs lists registered session IDs in sorted order (test/debug aid).
+func (s *Server) SessionIDs() []string {
+	var ids []string
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for id := range sh.sessions {
+			ids = append(ids, id)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Strings(ids)
+	return ids
+}

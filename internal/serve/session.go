@@ -1,0 +1,384 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/entangle"
+	"repro/internal/faults"
+	"repro/internal/games"
+	"repro/internal/netsim"
+	"repro/internal/xrand"
+)
+
+// SessionRequest is the POST /v1/sessions body: a group of balancer
+// endpoints registering for coordinated decisions, plus the entangled-pair
+// provisioning for their session. Zero values take serving defaults.
+type SessionRequest struct {
+	// ID is an optional caller-chosen session identifier; one is generated
+	// when empty. Creating an ID that already exists is a conflict.
+	ID string `json:"id,omitempty"`
+	// Game selects the coordination objective: "colocation" (default, the
+	// paper's §4.1 load-balancing game) or "chsh".
+	Game string `json:"game,omitempty"`
+	// Endpoints names the balancer endpoints coordinating through this
+	// session. Two-party games need exactly two.
+	Endpoints []string `json:"endpoints"`
+	// Seed drives all session randomness; derived from the ID when 0, so a
+	// fixed (id, seed) registration replays identically.
+	Seed uint64 `json:"seed,omitempty"`
+	// PairBudget caps the total entangled pairs the session's source may
+	// deliver (0 = unlimited). When exhausted the source stops and the
+	// session rides the degradation ladder down to classical play.
+	PairBudget int64 `json:"pair_budget,omitempty"`
+	// PoolCap bounds stored pairs at the QNICs (default 256).
+	PoolCap int `json:"pool_cap,omitempty"`
+	// PairRate is the SPDC generation rate in pairs/second (default 1e5).
+	// Rates near 1/StorageLimit (1e4 for the default QNIC) leave the
+	// freshest stored pair about as old as the storage limit, so delivered
+	// visibility sits at the critical threshold and the session hovers
+	// between rungs instead of playing quantum.
+	PairRate float64 `json:"pair_rate,omitempty"`
+	// BaseVisibility is the freshly delivered pair visibility (default 0.98).
+	BaseVisibility float64 `json:"base_visibility,omitempty"`
+	// FiberLengthM is the one-way source→endpoint fiber run (default 1000).
+	FiberLengthM float64 `json:"fiber_m,omitempty"`
+	// HealthWindow is the health monitor's rolling window in consumption
+	// attempts (default 16 — small enough that a serving session reacts to a
+	// supply fault within a few milliseconds of decisions).
+	HealthWindow int `json:"health_window,omitempty"`
+	// Faults optionally scripts a deterministic fault timeline against the
+	// session's supply chain (times are relative to session creation).
+	Faults []FaultWindow `json:"faults,omitempty"`
+}
+
+// FaultWindow is one scripted supply-chain fault in a SessionRequest.
+type FaultWindow struct {
+	// Kind spells a faults.Kind: "source-outage", "fiber-loss-burst",
+	// "decoherence-spike", "bsm-failure" or "pool-flush".
+	Kind string `json:"kind"`
+	// StartMS/EndMS bound the window in milliseconds after session creation.
+	StartMS float64 `json:"start_ms"`
+	EndMS   float64 `json:"end_ms"`
+	// Severity is the kind-specific multiplier (see internal/faults).
+	Severity float64 `json:"severity,omitempty"`
+}
+
+// DecideRequest is the POST /v1/decide body: one coordination round. X and Y
+// are the two parties' local inputs (for the colocation game: 1 for a
+// type-C task, 0 for a type-E task).
+type DecideRequest struct {
+	Session string `json:"session"`
+	X       int    `json:"x"`
+	Y       int    `json:"y"`
+}
+
+// DecideResponse is the routing decision for one round: each party's output
+// bit, computed without any cross-endpoint communication.
+type DecideResponse struct {
+	Session    string  `json:"session"`
+	A          int     `json:"a"`
+	B          int     `json:"b"`
+	Mode       string  `json:"mode"`
+	Level      string  `json:"level"`
+	Visibility float64 `json:"visibility"`
+	LatencyNS  int64   `json:"latency_ns"`
+	WaitedNS   int64   `json:"waited_ns"`
+	Win        bool    `json:"win"`
+}
+
+// SessionInfo is the GET /v1/sessions/{id} body: identity, degradation rung
+// and supply health.
+type SessionInfo struct {
+	ID        string   `json:"id"`
+	Game      string   `json:"game"`
+	Endpoints []string `json:"endpoints"`
+
+	Level       string  `json:"level"`
+	Visibility  float64 `json:"visibility"`
+	SupplyRate  float64 `json:"supply_rate"`
+	Transitions int64   `json:"transitions"`
+
+	Rounds         int64   `json:"rounds"`
+	QuantumRounds  int64   `json:"quantum_rounds"`
+	FallbackRounds int64   `json:"fallback_rounds"`
+	WinRate        float64 `json:"win_rate"`
+
+	PoolPairs       int   `json:"pool_pairs"`
+	PairsDelivered  int64 `json:"pairs_delivered"`
+	PairBudget      int64 `json:"pair_budget"`
+	BudgetExhausted bool  `json:"budget_exhausted"`
+
+	CriticalVisibility float64 `json:"critical_visibility"`
+	ClassicalValue     float64 `json:"classical_value"`
+	QuantumValue       float64 `json:"quantum_value"`
+	SimNowNS           int64   `json:"sim_now_ns"`
+	Draining           bool    `json:"draining"`
+
+	// Server-wide serving load, resolved from the metrics registry on the
+	// health path (see handleSessionInfo).
+	DecideMeanNS    float64 `json:"decide_mean_ns"`
+	ServerDecisions int64   `json:"server_decisions"`
+}
+
+// Serving defaults. PairRate matches the simulator binaries' 1e5/s default;
+// catch-up work per request is bounded by maxAdvancePerStep, not the rate.
+const (
+	defaultPairRate     = 1e5
+	defaultPoolCap      = 256
+	defaultHealthWindow = 16
+)
+
+// maxAdvancePerStep caps how far a single request fast-forwards a session's
+// simulated clock. Without the cap, a session that idled (or a host slower
+// than the source's event rate — think race-detector CI on one core) owes
+// catch-up work proportional to wall time, and a session that falls behind
+// real time owes *more* work per decision, a divergent feedback loop. With
+// it, simulated time lags wall time under overload instead: supply/decision
+// dynamics stay physical, and each request does bounded engine work. 25 ms
+// at the default pair rate is 2500 source events per advance.
+const maxAdvancePerStep = 25 * time.Millisecond
+
+// session is one registered endpoint group: a discrete-event supply chain
+// (engine + pool + source service), a core.Session with its own
+// HealthMonitor, and the wall-clock anchor mapping real time onto the
+// engine's simulated clock. All fields past mu are guarded by it; sessions
+// are independently locked, so decisions in different sessions never contend.
+type session struct {
+	mu sync.Mutex
+
+	id        string
+	gameName  string
+	endpoints []string
+	created   time.Time
+	// simNow is the session's virtual clock: advanced by wall-clock deltas
+	// capped at maxAdvancePerStep, so it tracks real time when the host
+	// keeps up and lags gracefully when it cannot.
+	simNow   time.Duration
+	lastWall time.Time
+
+	engine *netsim.Engine
+	pool   *entangle.Pool
+	svc    *entangle.Service
+	core   *core.Session
+	game   *games.XORGame
+
+	pairBudget      int64
+	budgetExhausted bool
+}
+
+// parseFaultKind maps the wire spelling onto faults.Kind.
+func parseFaultKind(s string) (faults.Kind, error) {
+	for k := faults.KindNone + 1; int(k) <= faults.NumKinds; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return faults.KindNone, fmt.Errorf("unknown fault kind %q", s)
+}
+
+// buildSchedule converts wire fault windows into a validated schedule.
+func buildSchedule(ws []FaultWindow) (faults.Schedule, error) {
+	var sched faults.Schedule
+	for i, fw := range ws {
+		kind, err := parseFaultKind(fw.Kind)
+		if err != nil {
+			return sched, fmt.Errorf("fault %d: %w", i, err)
+		}
+		sched.Windows = append(sched.Windows, faults.Window{
+			Kind:     kind,
+			Start:    time.Duration(fw.StartMS * float64(time.Millisecond)),
+			End:      time.Duration(fw.EndMS * float64(time.Millisecond)),
+			Severity: fw.Severity,
+		})
+	}
+	if err := sched.Validate(); err != nil {
+		return sched, err
+	}
+	return sched, nil
+}
+
+// gameFor resolves a SessionRequest's game name.
+func gameFor(name string) (*games.XORGame, error) {
+	switch name {
+	case "", "colocation":
+		return games.NewColocationCHSH(), nil
+	case "chsh":
+		return games.NewCHSH(), nil
+	default:
+		return nil, fmt.Errorf("unknown game %q (want \"colocation\" or \"chsh\")", name)
+	}
+}
+
+// newSession provisions the full per-session stack from a validated request.
+func newSession(id string, req SessionRequest, now time.Time) (*session, error) {
+	game, err := gameFor(req.Game)
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Endpoints) != 2 {
+		return nil, fmt.Errorf("two-party game needs exactly 2 endpoints, got %d", len(req.Endpoints))
+	}
+	if req.PairBudget < 0 {
+		return nil, fmt.Errorf("pair budget must be non-negative")
+	}
+	sched, err := buildSchedule(req.Faults)
+	if err != nil {
+		return nil, err
+	}
+
+	src := entangle.DefaultSource()
+	src.PairRate = defaultPairRate
+	if req.PairRate != 0 {
+		src.PairRate = req.PairRate
+	}
+	if req.BaseVisibility != 0 {
+		src.BaseVisibility = req.BaseVisibility
+	}
+	if req.FiberLengthM != 0 {
+		src.FiberLengthM = req.FiberLengthM
+	}
+	if err := src.Validate(); err != nil {
+		return nil, err
+	}
+	poolCap := defaultPoolCap
+	if req.PoolCap != 0 {
+		poolCap = req.PoolCap
+	}
+	window := defaultHealthWindow
+	if req.HealthWindow != 0 {
+		window = req.HealthWindow
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = fnv64a(id)
+	}
+
+	engine := netsim.NewEngine()
+	qnic := entangle.DefaultQNIC()
+	pool := entangle.NewPool(qnic, poolCap)
+	rng := xrand.New(seed, 0x5e55)
+	svc := entangle.StartService(engine, src, pool, rng.Split(1))
+	if len(sched.Windows) > 0 {
+		faults.NewInjector(engine, sched, faults.Target{Service: svc, Pool: pool}).Arm()
+	}
+
+	cs, err := core.NewSession(core.Config{
+		Game:     game,
+		Supplier: pool,
+		QNIC:     qnic,
+		Seed:     seed,
+		Health: &core.HealthConfig{
+			Window:         window,
+			BaseVisibility: src.BaseVisibility,
+			MetricsName:    id,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &session{
+		id:         id,
+		gameName:   game.Name,
+		endpoints:  append([]string(nil), req.Endpoints...),
+		created:    now,
+		lastWall:   now,
+		engine:     engine,
+		pool:       pool,
+		svc:        svc,
+		core:       cs,
+		game:       game,
+		pairBudget: req.PairBudget,
+	}, nil
+}
+
+// advance steps the session's virtual clock by the wall time elapsed since
+// the last advance (capped at maxAdvancePerStep), fast-forwards the supply
+// chain to it, and enforces the pair budget. It returns the new virtual
+// now. Callers hold s.mu.
+func (s *session) advance() time.Duration {
+	wall := time.Now()
+	delta := wall.Sub(s.lastWall)
+	s.lastWall = wall
+	if delta < 0 {
+		delta = 0
+	}
+	if delta > maxAdvancePerStep {
+		delta = maxAdvancePerStep
+	}
+	s.simNow += delta
+	s.engine.RunUntil(s.simNow)
+	if s.pairBudget > 0 && !s.budgetExhausted && s.svc.Stats().Delivered >= s.pairBudget {
+		s.svc.Stop()
+		s.budgetExhausted = true
+	}
+	return s.simNow
+}
+
+// decide plays one coordination round at the session's current wall-mapped
+// simulated time.
+func (s *session) decide(x, y int) (DecideResponse, error) {
+	if x < 0 || x >= s.game.NA || y < 0 || y >= s.game.NB {
+		return DecideResponse{}, fmt.Errorf("inputs (%d,%d) outside game alphabet %dx%d", x, y, s.game.NA, s.game.NB)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.advance()
+	d := s.core.Round(now, x, y)
+	return DecideResponse{
+		Session:    s.id,
+		A:          d.A,
+		B:          d.B,
+		Mode:       d.Mode.String(),
+		Level:      d.Level.String(),
+		Visibility: d.Visibility,
+		LatencyNS:  int64(d.Latency),
+		WaitedNS:   int64(d.Waited),
+		Win:        s.game.Wins(x, y, d.A, d.B),
+	}, nil
+}
+
+// info reports the session's health without playing a round. It still
+// fast-forwards the supply chain so the degradation rung reflects the
+// present, not the last decision.
+func (s *session) info(draining bool) SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advance()
+	st := s.core.Stats()
+	h := s.core.Health()
+	return SessionInfo{
+		ID:                 s.id,
+		Game:               s.gameName,
+		Endpoints:          append([]string(nil), s.endpoints...),
+		Level:              h.Level().String(),
+		Visibility:         h.Visibility(),
+		SupplyRate:         h.SupplyRate(),
+		Transitions:        h.Transitions(),
+		Rounds:             st.Rounds,
+		QuantumRounds:      st.QuantumRounds,
+		FallbackRounds:     st.FallbackRounds,
+		WinRate:            st.Wins.Rate(),
+		PoolPairs:          s.pool.Len(),
+		PairsDelivered:     s.svc.Stats().Delivered,
+		PairBudget:         s.pairBudget,
+		BudgetExhausted:    s.budgetExhausted,
+		CriticalVisibility: s.core.CriticalVis(),
+		ClassicalValue:     s.core.ClassicalValue(),
+		QuantumValue:       s.core.QuantumValue(),
+		SimNowNS:           int64(s.engine.Now()),
+		Draining:           draining,
+	}
+}
+
+// stop halts the session's source (used at server shutdown so engines owe
+// no further catch-up work).
+func (s *session) stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.budgetExhausted {
+		s.svc.Stop()
+	}
+}

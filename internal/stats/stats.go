@@ -38,11 +38,30 @@ func (w *Welford) Add(x float64) {
 }
 
 // AddN folds n copies of x into the accumulator (useful for slot-weighted
-// queue-length averages).
+// queue-length averages). It is the closed-form merge of a degenerate
+// accumulator holding n copies of x (mean x, m2 contribution 0), so it runs
+// in O(1) regardless of n instead of looping Add.
 func (w *Welford) AddN(x float64, n int64) {
-	for i := int64(0); i < n; i++ {
-		w.Add(x)
+	if n <= 0 {
+		return
 	}
+	if w.n == 0 {
+		w.n = n
+		w.mean = x
+		w.min, w.max = x, x
+		return
+	}
+	if x < w.min {
+		w.min = x
+	}
+	if x > w.max {
+		w.max = x
+	}
+	nn := w.n + n
+	d := x - w.mean
+	w.m2 += d * d * float64(w.n) * float64(n) / float64(nn)
+	w.mean += d * float64(n) / float64(nn)
+	w.n = nn
 }
 
 // Merge combines another accumulator into w (parallel Welford merge).
@@ -196,11 +215,15 @@ func Mean(data []float64) float64 {
 }
 
 // Histogram is a fixed-bin histogram over [Lo, Hi); samples outside the range
-// are clamped into the edge bins so mass is never silently dropped.
+// are clamped into the edge bins so mass is never silently dropped. NaN
+// samples are counted separately (int(NaN) is platform-dependent in Go — on
+// amd64 it clamps negative and would silently land in bin 0) and excluded
+// from Total and Fraction.
 type Histogram struct {
 	Lo, Hi float64
 	Counts []int64
 	total  int64
+	nan    int64
 }
 
 // NewHistogram creates a histogram with the given bin count over [lo, hi).
@@ -211,8 +234,12 @@ func NewHistogram(lo, hi float64, bins int) *Histogram {
 	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, bins)}
 }
 
-// Add records a sample.
+// Add records a sample. NaN samples go to the NaN counter, not a bin.
 func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) {
+		h.nan++
+		return
+	}
 	idx := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
 	if idx < 0 {
 		idx = 0
@@ -224,8 +251,11 @@ func (h *Histogram) Add(x float64) {
 	h.total++
 }
 
-// Total returns the number of recorded samples.
+// Total returns the number of recorded samples, excluding NaN samples.
 func (h *Histogram) Total() int64 { return h.total }
+
+// NaN returns the number of NaN samples recorded (and excluded from bins).
+func (h *Histogram) NaN() int64 { return h.nan }
 
 // Fraction returns the share of samples in bin i.
 func (h *Histogram) Fraction(i int) float64 {

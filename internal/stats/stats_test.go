@@ -91,6 +91,73 @@ func TestWelfordAddN(t *testing.T) {
 	}
 }
 
+// addNLooped is the pre-closed-form reference: n repeated Adds.
+func addNLooped(w *Welford, x float64, n int64) {
+	for i := int64(0); i < n; i++ {
+		w.Add(x)
+	}
+}
+
+func TestWelfordAddNMatchesLoopedReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	var fast, ref Welford
+	for i := 0; i < 200; i++ {
+		x := rng.NormFloat64()*5 + 2
+		n := int64(rng.IntN(50)) // includes 0: must be a no-op
+		fast.AddN(x, n)
+		addNLooped(&ref, x, n)
+		// Interleave plain Adds so AddN also merges into non-trivial state.
+		y := rng.NormFloat64()
+		fast.Add(y)
+		ref.Add(y)
+	}
+	if fast.Count() != ref.Count() {
+		t.Fatalf("count %d != %d", fast.Count(), ref.Count())
+	}
+	if math.Abs(fast.Mean()-ref.Mean()) > 1e-9*(1+math.Abs(ref.Mean())) {
+		t.Fatalf("mean %v != %v", fast.Mean(), ref.Mean())
+	}
+	if math.Abs(fast.Variance()-ref.Variance()) > 1e-9*(1+ref.Variance()) {
+		t.Fatalf("variance %v != %v", fast.Variance(), ref.Variance())
+	}
+	if fast.Min() != ref.Min() || fast.Max() != ref.Max() {
+		t.Fatalf("min/max %v/%v != %v/%v", fast.Min(), fast.Max(), ref.Min(), ref.Max())
+	}
+}
+
+func TestWelfordAddNConstantTime(t *testing.T) {
+	// The closed form must handle astronomically large n instantly; the
+	// looped pre-fix implementation would run for hours here.
+	var w Welford
+	w.Add(1)
+	w.AddN(3, 1e12)
+	if w.Count() != 1e12+1 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	if math.Abs(w.Mean()-3) > 1e-9 {
+		t.Fatalf("mean = %v", w.Mean())
+	}
+	// Variance of {1, 3×10¹²}: m2 = d²·1·n/(n+1) ≈ 4, so sample variance
+	// m2/(n+1-1) ≈ 4e-12 — just assert it is tiny and non-negative.
+	if v := w.Variance(); v < 0 || v > 1e-9 {
+		t.Fatalf("variance = %v", v)
+	}
+	if w.Min() != 1 || w.Max() != 3 {
+		t.Fatalf("min/max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordAddNIntoEmpty(t *testing.T) {
+	var w Welford
+	w.AddN(2.5, 4)
+	if w.Count() != 4 || w.Mean() != 2.5 || w.Variance() != 0 {
+		t.Fatalf("AddN into empty: count=%d mean=%v var=%v", w.Count(), w.Mean(), w.Variance())
+	}
+	if w.Min() != 2.5 || w.Max() != 2.5 {
+		t.Fatalf("min/max = %v/%v", w.Min(), w.Max())
+	}
+}
+
 func TestWelfordShiftInvarianceProperty(t *testing.T) {
 	// Variance is invariant under a constant shift.
 	f := func(xs []float64) bool {
@@ -212,6 +279,30 @@ func TestHistogram(t *testing.T) {
 	}
 	if math.Abs(h.Fraction(0)-2.0/12) > 1e-12 {
 		t.Fatalf("fraction = %v", h.Fraction(0))
+	}
+}
+
+func TestHistogramNaNExcluded(t *testing.T) {
+	// Pre-fix, int(NaN) clamped into bin 0 on amd64, silently counting NaN
+	// samples as small values and inflating Total.
+	h := NewHistogram(0, 10, 10)
+	h.Add(math.NaN())
+	if h.Counts[0] != 0 {
+		t.Fatalf("NaN landed in bin 0 (count %d)", h.Counts[0])
+	}
+	if h.Total() != 0 {
+		t.Fatalf("NaN counted in Total (= %d)", h.Total())
+	}
+	if h.NaN() != 1 {
+		t.Fatalf("NaN counter = %d, want 1", h.NaN())
+	}
+	h.Add(5)
+	h.Add(math.NaN())
+	if h.Total() != 1 || h.NaN() != 2 {
+		t.Fatalf("total/nan = %d/%d, want 1/2", h.Total(), h.NaN())
+	}
+	if math.Abs(h.Fraction(5)-1) > 1e-12 {
+		t.Fatalf("fraction excludes NaN: got %v", h.Fraction(5))
 	}
 }
 
