@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify race lint bench bench-report bench-solvers bench-solvers-baseline bench-simscale bench-simscale-baseline repro soak qcoordd-smoke clean
+.PHONY: build test verify race lint bench bench-report bench-solvers bench-solvers-baseline bench-simscale bench-simscale-baseline bench-loadtest bench-serve-baseline repro soak qcoordd-smoke clean
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,21 @@ bench-simscale:
 bench-simscale-baseline:
 	$(GO) test ./internal/netsim/ -run '^$$' -bench 'BenchmarkEngine' \
 		-benchtime 1000000x -benchmem -count 6 | tee .github/bench-simscale-baseline.txt
+
+# Regenerate BENCH_loadtest.json: the deterministic serving-path load test
+# (virtual-time open-loop generator, internal/loadtest). The report is a
+# pure function of the seed — CI regenerates it and requires a byte-for-byte
+# match with the committed copy. Add -loadtest-wall for an uncommitted
+# wall-clock section.
+bench-loadtest:
+	$(GO) run ./cmd/bench -loadtest -out BENCH_loadtest.json
+
+# Refresh the committed serving-path benchmark baseline (in-process decide,
+# single-round HTTP, batched HTTP) for the informational benchstat
+# comparison in CI. Run on a quiet machine.
+bench-serve-baseline:
+	$(GO) test ./internal/serve/ -run '^$$' -bench 'BenchmarkDecide' \
+		-benchmem -count 6 | tee .github/bench-serve-baseline.txt
 
 repro:
 	$(GO) run ./cmd/repro

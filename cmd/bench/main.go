@@ -141,6 +141,8 @@ func main() {
 	passes := flag.Int("passes", 3, "interleaved serial/parallel pairs per experiment (min of each side is reported)")
 	solvers := flag.Bool("solvers", false, "benchmark the solver kernels only (flat vs reference) and write a solver report instead of the parallel one")
 	simscale := flag.Bool("simscale", false, "benchmark the scaled simulator stack (calendar engine, sharded sim, striped cache) and write BENCH_simscale.json")
+	loadtestFlag := flag.Bool("loadtest", false, "run the deterministic serving-path load test (virtual-time open-loop generator) and write BENCH_loadtest.json")
+	loadtestWall := flag.Bool("loadtest-wall", false, "with -loadtest: append an uncommitted wall-clock section against a live loopback server")
 	timeout := flag.Duration("timeout", 0, "whole-run deadline; passes measured so far are written as a partial report (0 = none)")
 	metricsPath := flag.String("metrics", "", "write a JSON metrics artifact for the whole bench run (- for stdout)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
@@ -153,6 +155,14 @@ func main() {
 			path = "BENCH_solvers.json"
 		}
 		runSolverBench(path)
+		return
+	}
+	if *loadtestFlag {
+		path := *out
+		if path == "BENCH_parallel.json" { // flag left at default
+			path = "BENCH_loadtest.json"
+		}
+		runLoadtestBench(path, *seed, *loadtestWall)
 		return
 	}
 	if *simscale {

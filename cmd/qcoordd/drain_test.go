@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/loadtest"
+	"repro/internal/metrics"
+	"repro/internal/serve"
+)
+
+// TestQcoorddDrainUnderLoad proves the shutdown contract holds under
+// sustained traffic, not just at idle: while an open-loop load test is
+// mid-run, SIGTERM the daemon and require that
+//
+//   - every generated request resolves as either a clean response or a
+//     retryable 503 / connection-level failure — zero hard errors, which
+//     is the client-visible form of "no in-flight decision was dropped";
+//   - the daemon exits 0 (its own Drain() saw the in-flight count reach
+//     zero before the deadline); and
+//   - the final metrics artifact is valid and accounts for at least every
+//     decision the client saw succeed.
+func TestQcoorddDrainUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping daemon drain test in -short mode")
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "qcoordd")
+	metricsOut := filepath.Join(dir, "qcoordd_metrics.json")
+	build := exec.Command("go", "build", "-race", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build -race: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-drain-timeout", "15s",
+		"-metrics-out", metricsOut,
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var exitErr error
+	exitDone := make(chan struct{})
+	go func() { exitErr = cmd.Wait(); close(exitDone) }()
+	defer func() {
+		select {
+		case <-exitDone:
+		default:
+			_ = cmd.Process.Kill()
+			<-exitDone
+		}
+	}()
+
+	sc := bufio.NewScanner(stdout)
+	addr := ""
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), "qcoordd: listening on "); ok {
+			addr = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("daemon never reported its address (scan err %v)", sc.Err())
+	}
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+
+	// Two seconds of mixed load; SIGTERM lands mid-window so a healthy
+	// slice of requests is in flight when drain begins.
+	cfg := loadtest.Config{
+		Seed:      2026,
+		Duration:  2 * time.Second,
+		TargetRPS: 500,
+		Sessions:  4,
+	}
+	type runOut struct {
+		res *loadtest.Result
+		err error
+	}
+	done := make(chan runOut, 1)
+	go func() {
+		res, err := loadtest.RunWall(cfg, loadtest.WallOptions{Client: serve.NewClient("http://" + addr)})
+		done <- runOut{res, err}
+	}()
+
+	// Let the generator establish sustained traffic, then pull the plug.
+	time.Sleep(600 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	out := <-done
+	if out.err != nil {
+		t.Fatalf("load run: %v", out.err)
+	}
+	res := out.res
+
+	// The drain contract, client side: clean responses or retryable/
+	// transport failures only. A single hard error means the server
+	// answered a request wrongly while shutting down.
+	if res.Errors != 0 {
+		t.Fatalf("drain produced %d hard errors: %+v", res.Errors, res)
+	}
+	if res.Decisions == 0 {
+		t.Fatal("no decisions completed before drain — SIGTERM landed too early to test anything")
+	}
+	if res.Retryable+res.Transport == 0 {
+		t.Fatal("no requests were rejected — SIGTERM landed too late to exercise drain under load")
+	}
+
+	select {
+	case <-exitDone:
+		if exitErr != nil {
+			t.Fatalf("daemon exit: %v (want exit 0 = clean drain)", exitErr)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not exit within 60s of SIGTERM")
+	}
+
+	// Server-side cross-check: the artifact is valid and its decision
+	// count covers every success the client observed (the server never
+	// "forgot" a decision it answered).
+	raw, err := os.ReadFile(metricsOut)
+	if err != nil {
+		t.Fatalf("final metrics artifact missing: %v", err)
+	}
+	var art metrics.Artifact
+	if err := json.Unmarshal(raw, &art); err != nil {
+		t.Fatalf("metrics artifact is not valid JSON: %v", err)
+	}
+	var served float64
+	found := false
+	for _, kv := range art.Metrics {
+		if kv.Key == "serve_decisions_total" {
+			served, found = kv.Value, true
+		}
+	}
+	if !found {
+		t.Fatal("artifact missing serve_decisions_total")
+	}
+	if served < float64(res.Decisions) {
+		t.Fatalf("artifact counts %v decisions, client saw %d succeed", served, res.Decisions)
+	}
+	t.Logf("drain under load: %d requests, %d decisions ok, %d retryable, %d transport, clean exit",
+		res.Requests, res.Decisions, res.Retryable, res.Transport)
+}

@@ -1,0 +1,238 @@
+// Package loadtest is the serving-path load harness: an open-loop request
+// generator that drives the qcoordd decide API at a target arrival rate and
+// reports tail latency from log-bucketed HDR histograms (internal/stats).
+//
+// The generator is fully deterministic: every random choice — arrival
+// schedule, scenario mix, session routing, round inputs — comes from
+// independent xrand.Derive streams of one seed, so a plan is a pure
+// function of its Config and any two runs of the same plan issue the exact
+// same request sequence.
+//
+// Two execution modes share that plan:
+//
+//   - Virtual (RunVirtual): single-threaded against an in-process
+//     serve.Server whose clock is the plan's arrival schedule. Nothing
+//     reads the real clock, so the full Result — counts, win rates, and
+//     latency quantiles (the simulated decision latency, LatencyNS +
+//     WaitedNS) — is byte-identical across runs and machines. This is the
+//     mode CI trends; its report answers "what does the coordination layer
+//     itself do under this workload", with zero measurement noise.
+//
+//   - Wall (RunWall): open-loop against a live HTTP endpoint with real
+//     sleeps and real concurrency. Latency is wall time from the request's
+//     *scheduled* arrival (so queueing delay from a saturated server is
+//     charged to the server, not silently absorbed — the coordinated-
+//     omission correction). Wall results are real measurements and are NOT
+//     byte-stable; they back the drain-under-load test and ad-hoc runs.
+package loadtest
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/xrand"
+)
+
+// Scenario is one weighted request shape in the generator's mix.
+type Scenario struct {
+	// Name labels the scenario in results ("decide", "batch64", "info", ...).
+	Name string `json:"name"`
+	// Weight is the scenario's share of arrivals (normalized over the mix).
+	Weight float64 `json:"weight"`
+	// Batch is the rounds per request: 0 or 1 plays a single decide, n>1
+	// issues an n-round batch.
+	Batch int `json:"batch"`
+	// Info makes the request a session health poll instead of a decision.
+	Info bool `json:"info,omitempty"`
+}
+
+// DefaultScenarios is the standard serving mix: mostly single decisions,
+// a steady stream of 64-round batches, and a trickle of health polls.
+func DefaultScenarios() []Scenario {
+	return []Scenario{
+		{Name: "decide", Weight: 0.60, Batch: 1},
+		{Name: "batch64", Weight: 0.30, Batch: 64},
+		{Name: "info", Weight: 0.10, Info: true},
+	}
+}
+
+// Config parametrizes a load-test plan. Zero values take defaults.
+type Config struct {
+	// Seed drives every derived randomness stream (default 1).
+	Seed uint64 `json:"seed"`
+	// Duration is the arrival window (default 2s). In virtual mode this is
+	// simulated time; in wall mode it is real time.
+	Duration time.Duration `json:"duration_ns"`
+	// TargetRPS is the open-loop arrival rate in requests/second
+	// (default 2000). Arrivals are Poisson: exponential inter-arrival gaps.
+	TargetRPS float64 `json:"target_rps"`
+	// Scenarios is the weighted request mix (default DefaultScenarios).
+	Scenarios []Scenario `json:"scenarios"`
+	// Sessions is how many independent sessions the load spreads over
+	// (default 4). Requests route uniformly at random.
+	Sessions int `json:"sessions"`
+	// SessionTemplate seeds each created session's parameters; ID and Seed
+	// are set per session by the harness.
+	SessionTemplate serve.SessionRequest `json:"-"`
+}
+
+// withDefaults returns cfg with zero fields filled in.
+func (cfg Config) withDefaults() Config {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.TargetRPS <= 0 {
+		cfg.TargetRPS = 2000
+	}
+	if len(cfg.Scenarios) == 0 {
+		cfg.Scenarios = DefaultScenarios()
+	}
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 4
+	}
+	return cfg
+}
+
+// request is one precomputed arrival.
+type request struct {
+	at       time.Duration // offset from run start
+	scenario int           // index into Plan.Scenarios
+	session  int           // index into the session set
+	rounds   []serve.Round // inputs; nil for info polls
+}
+
+// Plan is a fully materialized request schedule: every arrival time,
+// scenario pick and round input computed up front from the seed. Both run
+// modes execute the same plan, so virtual and wall results describe the
+// same workload.
+type Plan struct {
+	Config    Config
+	Scenarios []Scenario
+	reqs      []request
+}
+
+// Requests returns the number of scheduled arrivals.
+func (p *Plan) Requests() int { return len(p.reqs) }
+
+// Stream indices for xrand.Derive: each independent random choice gets its
+// own derived stream so adding a scenario never perturbs the arrival
+// schedule (and vice versa).
+const (
+	streamArrivals = 1
+	streamScenario = 2
+	streamSessions = 3
+	streamInputs   = 4
+)
+
+// BuildPlan materializes the request schedule for cfg.
+func BuildPlan(cfg Config) (*Plan, error) {
+	cfg = cfg.withDefaults()
+	var total float64
+	weights := make([]float64, len(cfg.Scenarios))
+	for i, sc := range cfg.Scenarios {
+		if sc.Weight < 0 {
+			return nil, fmt.Errorf("scenario %q has negative weight", sc.Name)
+		}
+		if sc.Batch < 0 {
+			return nil, fmt.Errorf("scenario %q has negative batch", sc.Name)
+		}
+		weights[i] = sc.Weight
+		total += sc.Weight
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("scenario weights sum to %v", total)
+	}
+
+	arrivals := xrand.Derive(cfg.Seed, streamArrivals)
+	scenarios := xrand.Derive(cfg.Seed, streamScenario)
+	sessions := xrand.Derive(cfg.Seed, streamSessions)
+	inputs := xrand.Derive(cfg.Seed, streamInputs)
+
+	p := &Plan{Config: cfg, Scenarios: cfg.Scenarios}
+	meanGap := float64(time.Second) / cfg.TargetRPS
+	at := time.Duration(0)
+	for {
+		at += time.Duration(arrivals.ExpFloat64() * meanGap)
+		if at >= cfg.Duration {
+			break
+		}
+		sc := scenarios.Categorical(weights)
+		req := request{
+			at:       at,
+			scenario: sc,
+			session:  sessions.IntN(cfg.Sessions),
+		}
+		if !cfg.Scenarios[sc].Info {
+			n := cfg.Scenarios[sc].Batch
+			if n < 1 {
+				n = 1
+			}
+			req.rounds = make([]serve.Round, n)
+			for i := range req.rounds {
+				req.rounds[i] = serve.Round{X: inputs.IntN(2), Y: inputs.IntN(2)}
+			}
+		}
+		p.reqs = append(p.reqs, req)
+	}
+	if len(p.reqs) == 0 {
+		return nil, fmt.Errorf("plan is empty: duration %v at %v rps schedules no arrivals", cfg.Duration, cfg.TargetRPS)
+	}
+	return p, nil
+}
+
+// sessionID names the i-th load-test session.
+func sessionID(i int) string { return fmt.Sprintf("lt-%03d", i) }
+
+// sessionRequests expands the template into the plan's session set, with
+// per-session seeds derived from the plan seed so sessions are independent
+// but replayable.
+func (p *Plan) sessionRequests() []serve.SessionRequest {
+	out := make([]serve.SessionRequest, p.Config.Sessions)
+	for i := range out {
+		req := p.Config.SessionTemplate
+		req.ID = sessionID(i)
+		if req.Seed == 0 {
+			req.Seed = xrand.Derive(p.Config.Seed, uint64(100+i)).Uint64()
+		}
+		if len(req.Endpoints) == 0 {
+			req.Endpoints = []string{fmt.Sprintf("lb-%03d-a", i), fmt.Sprintf("lb-%03d-b", i)}
+		}
+		out[i] = req
+	}
+	return out
+}
+
+// scenarioNames returns the mix's names in result order (plan order, which
+// is stable; names are de-duplicated defensively for results keyed by name).
+func (p *Plan) scenarioNames() []string {
+	names := make([]string, len(p.Scenarios))
+	seen := map[string]int{}
+	for i, sc := range p.Scenarios {
+		name := sc.Name
+		if name == "" {
+			name = fmt.Sprintf("scenario%d", i)
+		}
+		if n := seen[name]; n > 0 {
+			name = fmt.Sprintf("%s#%d", name, n)
+		}
+		seen[sc.Name]++
+		names[i] = name
+	}
+	return names
+}
+
+// sortedCopy returns the plan's requests sorted by arrival time (BuildPlan
+// already emits them in order; this is the invariant the runners rely on).
+func (p *Plan) sorted() []request {
+	if sort.SliceIsSorted(p.reqs, func(i, j int) bool { return p.reqs[i].at < p.reqs[j].at }) {
+		return p.reqs
+	}
+	reqs := append([]request(nil), p.reqs...)
+	sort.Slice(reqs, func(i, j int) bool { return reqs[i].at < reqs[j].at })
+	return reqs
+}

@@ -1,0 +1,204 @@
+package loadtest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// virtualEpoch anchors virtual-mode wall clocks. The value is arbitrary but
+// fixed: committed reports must not depend on when the run happened.
+var virtualEpoch = time.Unix(1_700_000_000, 0)
+
+// RunVirtual executes the plan single-threaded against a fresh in-process
+// serve.Server driven by the plan's own arrival schedule: request i runs at
+// virtual wall time epoch+at_i. Recorded latency is the simulated decision
+// latency (LatencyNS + WaitedNS) — the physics-derived quantity the paper
+// reports — not host wall time, so the full Result is byte-identical across
+// runs and machines.
+func RunVirtual(cfg Config) (*Result, error) {
+	plan, err := BuildPlan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return RunVirtualPlan(plan)
+}
+
+// RunVirtualPlan is RunVirtual for a pre-built plan.
+func RunVirtualPlan(plan *Plan) (*Result, error) {
+	now := virtualEpoch
+	srv := serve.NewServer(serve.Config{Clock: func() time.Time { return now }})
+	defer srv.StopSessions()
+
+	for _, req := range plan.sessionRequests() {
+		if _, err := srv.CreateSession(req); err != nil {
+			return nil, fmt.Errorf("create %s: %w", req.ID, err)
+		}
+	}
+
+	rec := newRecorder(plan.scenarioNames())
+	// One response buffer sized to the largest batch, reused for every
+	// request — the runner itself stays off the allocator's hot path.
+	maxBatch := 1
+	for _, sc := range plan.Scenarios {
+		if sc.Batch > maxBatch {
+			maxBatch = sc.Batch
+		}
+	}
+	out := make([]serve.DecideResponse, maxBatch)
+
+	for _, req := range plan.sorted() {
+		now = virtualEpoch.Add(req.at)
+		rec.request(req.scenario)
+		if plan.Scenarios[req.scenario].Info {
+			if _, err := srv.Info(sessionID(req.session)); err != nil {
+				rec.errorKind(req.scenario, classify(err))
+				continue
+			}
+			rec.poll(req.scenario, 0)
+			continue
+		}
+		if err := srv.DecideBatch(sessionID(req.session), req.rounds, out); err != nil {
+			rec.errorKind(req.scenario, classify(err))
+			continue
+		}
+		for i := range req.rounds {
+			rec.decision(req.scenario, out[i].LatencyNS+out[i].WaitedNS, out[i].Win)
+		}
+	}
+	return rec.finish("virtual", plan.Config, plan.Config.Duration), nil
+}
+
+// WallOptions tunes RunWall.
+type WallOptions struct {
+	// Client targets the daemon; required.
+	Client *serve.Client
+	// CreateSessions provisions the plan's session set before generating
+	// load (default true; disable when the harness pre-created them).
+	SkipCreateSessions bool
+	// Context cancels the run early (default background). In-flight
+	// requests finish; unsent ones are not issued and not counted.
+	Context context.Context
+}
+
+// RunWall executes the plan open-loop against a live daemon: each request
+// fires at its scheduled offset from the run start on its own goroutine,
+// regardless of whether earlier requests have completed. Latency is wall
+// time measured from the request's SCHEDULED arrival, so time spent queued
+// behind a slow server counts against the server (the standard correction
+// for coordinated omission). Results are real measurements: meaningful, but
+// not byte-stable across runs.
+//
+// Error accounting is designed for the drain-under-load test: drain-mode
+// 503s count as Retryable, connection-level failures (a listener that went
+// away mid-run) as Transport, anything else as a hard Error. A clean drain
+// shows zero hard errors.
+func RunWall(cfg Config, opts WallOptions) (*Result, error) {
+	plan, err := BuildPlan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return RunWallPlan(plan, opts)
+}
+
+// RunWallPlan is RunWall for a pre-built plan.
+func RunWallPlan(plan *Plan, opts WallOptions) (*Result, error) {
+	if opts.Client == nil {
+		return nil, fmt.Errorf("loadtest: wall run needs a client")
+	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !opts.SkipCreateSessions {
+		for _, req := range plan.sessionRequests() {
+			if _, err := opts.Client.CreateSession(ctx, req); err != nil {
+				return nil, fmt.Errorf("create %s: %w", req.ID, err)
+			}
+		}
+	}
+
+	rec := newRecorder(plan.scenarioNames())
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	c := opts.Client
+
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	<-timer.C
+
+loop:
+	for _, req := range plan.sorted() {
+		// Open loop: wait for the scheduled offset, never for completions.
+		wait := time.Until(start.Add(req.at))
+		if wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				break loop
+			}
+		} else if ctx.Err() != nil {
+			break loop
+		}
+		wg.Add(1)
+		go func(req request) {
+			defer wg.Done()
+			scheduled := start.Add(req.at)
+			var err error
+			var results []serve.DecideResponse
+			info := plan.Scenarios[req.scenario].Info
+			if info {
+				_, err = c.Session(ctx, sessionID(req.session))
+			} else {
+				results, err = c.DecideBatch(ctx, sessionID(req.session), req.rounds)
+			}
+			lat := time.Since(scheduled).Nanoseconds()
+			mu.Lock()
+			defer mu.Unlock()
+			rec.request(req.scenario)
+			if err != nil {
+				rec.errorKind(req.scenario, classify(err))
+				return
+			}
+			if info {
+				rec.poll(req.scenario, lat)
+				return
+			}
+			for i := range results {
+				rec.decision(req.scenario, lat, results[i].Win)
+			}
+		}(req)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return rec.finish("wall", plan.Config, elapsed), nil
+}
+
+// classify sorts an error into the three result buckets: an HTTP error
+// response is Retryable (the drain-mode 503 contract) or a hard Error by
+// status; anything that never produced a status — a dial refused after the
+// listener closed, a reset keep-alive, a canceled context — is
+// transport-level shutdown noise, distinct from a server that answered
+// wrongly.
+func classify(err error) errKind {
+	var ae *serve.APIError
+	if errors.As(err, &ae) {
+		if ae.Retryable() {
+			return errRetryable
+		}
+		return errHard
+	}
+	if errors.Is(err, serve.ErrDraining) {
+		return errRetryable
+	}
+	if errors.Is(err, serve.ErrNoSession) {
+		return errHard
+	}
+	return errTransport
+}

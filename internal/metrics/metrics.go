@@ -64,6 +64,19 @@ func (t *Timer) Observe(d time.Duration) {
 	}
 }
 
+// ObserveN folds n observations whose summed duration is total into the
+// timer with two atomic adds — the batched-decision path pays one ObserveN
+// per batch instead of one Observe per round. Count and Total (and hence
+// Mean) stay exact; Max is left untouched because the individual durations
+// are unknown, so Max reflects only single Observe calls.
+func (t *Timer) ObserveN(total time.Duration, n int64) {
+	if n <= 0 {
+		return
+	}
+	t.count.Add(n)
+	t.total.Add(int64(total))
+}
+
 // Time runs fn and observes its wall time.
 func (t *Timer) Time(fn func()) {
 	start := time.Now()

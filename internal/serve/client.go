@@ -11,19 +11,59 @@ import (
 )
 
 // Client is the typed qcoordd API client used by the tests, the smoke
-// harness and the (future) load-test driver. It is safe for concurrent use.
+// harness and the load-test driver. It is safe for concurrent use.
 type Client struct {
 	base string
 	hc   *http.Client
 }
 
 // NewClient targets a qcoordd base URL ("http://host:port", no trailing
-// slash needed).
+// slash needed). The client rides a dedicated transport tuned for a
+// high-rate decide workload against a single host (see newTransport); for
+// the default pooling behavior use NewClientWith(base, nil).
 func NewClient(base string) *Client {
+	return NewClientWith(base, &http.Client{
+		Timeout:   30 * time.Second,
+		Transport: newTransport(defaultClientConns),
+	})
+}
+
+// defaultClientConns sizes the per-host idle-connection pool. The load-test
+// driver runs up to this many concurrent workers against one daemon; keeping
+// that many warm connections means steady-state decides never pay a TCP
+// handshake.
+const defaultClientConns = 64
+
+// newTransport builds an http.Transport tuned for the decide hot path:
+// keep-alives on (the default transport closes idle conns aggressively under
+// churn because MaxIdleConnsPerHost is 2 — at 64 concurrent workers that
+// means constant re-dials), idle pool sized to the expected concurrency, and
+// a generous idle timeout so a bursty open-loop generator reuses connections
+// across gaps in the schedule.
+func newTransport(conns int) *http.Transport {
+	if conns <= 0 {
+		conns = defaultClientConns
+	}
+	return &http.Transport{
+		MaxIdleConns:        conns,
+		MaxIdleConnsPerHost: conns,
+		MaxConnsPerHost:     0, // unbounded; the generator bounds concurrency
+		IdleConnTimeout:     90 * time.Second,
+		ForceAttemptHTTP2:   false, // one host, many short exchanges: HTTP/1.1 pipelining via pooled conns wins
+	}
+}
+
+// NewClientWith targets base using a caller-supplied http.Client (nil means
+// a default-transport client with a 30 s timeout). The load-test harness
+// uses this to size the connection pool to its worker count.
+func NewClientWith(base string, hc *http.Client) *Client {
 	for len(base) > 0 && base[len(base)-1] == '/' {
 		base = base[:len(base)-1]
 	}
-	return &Client{base: base, hc: &http.Client{Timeout: 30 * time.Second}}
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{base: base, hc: hc}
 }
 
 // APIError is a non-2xx response, carrying the server's error message.
@@ -91,6 +131,15 @@ func (c *Client) Decide(ctx context.Context, session string, x, y int) (DecideRe
 	var resp DecideResponse
 	err := c.do(ctx, http.MethodPost, "/v1/decide", DecideRequest{Session: session, X: x, Y: y}, &resp)
 	return resp, err
+}
+
+// DecideBatch plays len(rounds) coordination rounds in one HTTP exchange,
+// amortizing connection, header and JSON overhead across the batch. Results
+// come back in request order.
+func (c *Client) DecideBatch(ctx context.Context, session string, rounds []Round) ([]DecideResponse, error) {
+	var resp DecideBatchResponse
+	err := c.do(ctx, http.MethodPost, "/v1/decide/batch", DecideBatchRequest{Session: session, Rounds: rounds}, &resp)
+	return resp.Results, err
 }
 
 // Session fetches a session's current health and degradation rung.

@@ -21,10 +21,12 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,7 +39,29 @@ type Config struct {
 	// Shards is the stripe width of the session store, rounded up to a
 	// power of two (default 16).
 	Shards int
+	// Clock supplies wall time for the session clocks (default time.Now).
+	// Injecting a clock makes the whole decide path deterministic: the
+	// in-process load-test backend drives sessions on a virtual time axis,
+	// and decide-path tests stop racing the real clock.
+	Clock func() time.Time
 }
+
+// Sentinel errors for the in-process decision API (the HTTP handlers map
+// them onto status codes).
+var (
+	// ErrDraining is returned while the server refuses new work during
+	// shutdown; the HTTP equivalent is the retryable 503.
+	ErrDraining = errors.New("serve: draining")
+	// ErrNoSession is returned for an unknown session ID (HTTP 404).
+	ErrNoSession = errors.New("serve: no such session")
+	// errBodyTooLarge guards the pooled read buffers against abuse.
+	errBodyTooLarge = errors.New("serve: request body too large")
+)
+
+// maxBodyBytes bounds a decide request body (a 4096-round batch is ~64 KiB;
+// the limit leaves ample headroom without letting a client balloon the
+// pooled buffers).
+const maxBodyBytes = 1 << 20
 
 // shard is one stripe of the session store: a mutex guarding an ID→session
 // map. The shard lock covers only map access; round-playing work happens
@@ -54,6 +78,7 @@ type Server struct {
 	shards   []*shard
 	mask     uint64
 	reg      *metrics.Registry
+	clock    func() time.Time
 	draining atomic.Bool
 	inflight atomic.Int64 // decisions currently executing
 	nextID   atomic.Uint64
@@ -61,9 +86,11 @@ type Server struct {
 	mSessions     *metrics.Counter
 	mSessionGauge *metrics.Gauge
 	mDecisions    *metrics.Counter
+	mBatches      *metrics.Counter
 	mDecideErrs   *metrics.Counter
 	mDrainRejects *metrics.Counter
 	mDecideTimer  *metrics.Timer
+	mBatchTimer   *metrics.Timer
 }
 
 // NewServer builds a ready-to-mount server.
@@ -81,16 +108,23 @@ func NewServer(cfg Config) *Server {
 	// the repo-wide contract (sessions' HealthMonitors already export
 	// there), so /metrics is the one complete view.
 	reg := metrics.Default()
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
 	s := &Server{
 		shards:        make([]*shard, w),
 		mask:          uint64(w - 1),
 		reg:           reg,
+		clock:         clock,
 		mSessions:     reg.Counter("serve_sessions_created_total"),
 		mSessionGauge: reg.Gauge("serve_sessions_active"),
 		mDecisions:    reg.Counter("serve_decisions_total"),
+		mBatches:      reg.Counter("serve_decide_batches_total"),
 		mDecideErrs:   reg.Counter("serve_decide_errors_total"),
 		mDrainRejects: reg.Counter("serve_drain_rejected_total"),
 		mDecideTimer:  reg.Timer("serve_decide"),
+		mBatchTimer:   reg.Timer("serve_decide_batch"),
 	}
 	for i := range s.shards {
 		s.shards[i] = &shard{sessions: make(map[string]*session)}
@@ -99,6 +133,7 @@ func NewServer(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionInfo)
 	mux.HandleFunc("POST /v1/decide", s.handleDecide)
+	mux.HandleFunc("POST /v1/decide/batch", s.handleDecideBatch)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
 	return s
@@ -167,6 +202,107 @@ func writeDraining(w http.ResponseWriter) {
 	writeError(w, http.StatusServiceUnavailable, "server is draining")
 }
 
+// writeRaw sends a pre-encoded JSON body (the append-encoder output) with a
+// Content-Length so net/http skips chunked framing.
+func writeRaw(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// CreateSession provisions a session in-process (the HTTP handler and the
+// load-test backends share it). The returned info reflects the session's
+// initial state.
+func (s *Server) CreateSession(req SessionRequest) (SessionInfo, error) {
+	if s.draining.Load() {
+		s.mDrainRejects.Inc()
+		return SessionInfo{}, ErrDraining
+	}
+	id := req.ID
+	if id == "" {
+		id = fmt.Sprintf("s-%06d", s.nextID.Add(1))
+	}
+	sess, err := newSession(id, req, s.clock())
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	if _, exists := sh.sessions[id]; exists {
+		sh.mu.Unlock()
+		sess.stop()
+		return SessionInfo{}, fmt.Errorf("session %q already exists", id)
+	}
+	sh.sessions[id] = sess
+	sh.mu.Unlock()
+	s.mSessions.Inc()
+	s.mSessionGauge.Set(float64(s.SessionCount()))
+	return sess.info(false, s.clock()), nil
+}
+
+// Decide plays one coordination round in-process, bypassing HTTP and JSON
+// entirely — the zero-allocation fast path the paper's microsecond claim
+// rests on. The response lands in *out (caller-owned, reusable). Drain
+// semantics match the HTTP handler: ErrDraining is the retryable signal.
+func (s *Server) Decide(session string, x, y int, out *DecideResponse) error {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if s.draining.Load() {
+		s.mDrainRejects.Inc()
+		return ErrDraining
+	}
+	sess := s.lookup(session)
+	if sess == nil {
+		return ErrNoSession
+	}
+	if err := sess.decideAt(s.clock(), x, y, out); err != nil {
+		s.mDecideErrs.Inc()
+		return err
+	}
+	s.mDecisions.Inc()
+	return nil
+}
+
+// DecideBatch plays len(rounds) rounds in-process in one session-lock hold.
+// out must have at least len(rounds) elements; results land in request
+// order in out[:len(rounds)].
+func (s *Server) DecideBatch(session string, rounds []Round, out []DecideResponse) error {
+	if len(rounds) == 0 {
+		return fmt.Errorf("empty batch")
+	}
+	if len(out) < len(rounds) {
+		return fmt.Errorf("out holds %d responses for %d rounds", len(out), len(rounds))
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if s.draining.Load() {
+		s.mDrainRejects.Inc()
+		return ErrDraining
+	}
+	sess := s.lookup(session)
+	if sess == nil {
+		return ErrNoSession
+	}
+	if err := sess.decideBatchAt(s.clock(), rounds, out[:len(rounds)]); err != nil {
+		s.mDecideErrs.Inc()
+		return err
+	}
+	s.mDecisions.Add(int64(len(rounds)))
+	s.mBatches.Inc()
+	return nil
+}
+
+// Info reports a session's health in-process (the load-test harness's
+// health-poll scenario; the HTTP equivalent is GET /v1/sessions/{id}).
+func (s *Server) Info(id string) (SessionInfo, error) {
+	sess := s.lookup(id)
+	if sess == nil {
+		return SessionInfo{}, ErrNoSession
+	}
+	return sess.info(s.draining.Load(), s.clock()), nil
+}
+
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		s.mDrainRejects.Inc()
@@ -178,28 +314,20 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad session request: %v", err)
 		return
 	}
-	id := req.ID
-	if id == "" {
-		id = fmt.Sprintf("s-%06d", s.nextID.Add(1))
-	}
-	sess, err := newSession(id, req, time.Now())
+	info, err := s.CreateSession(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "session: %v", err)
+		if errors.Is(err, ErrDraining) {
+			writeDraining(w)
+			return
+		}
+		status := http.StatusBadRequest
+		if strings.HasSuffix(err.Error(), "already exists") {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "session: %v", err)
 		return
 	}
-	sh := s.shardFor(id)
-	sh.mu.Lock()
-	if _, exists := sh.sessions[id]; exists {
-		sh.mu.Unlock()
-		sess.stop()
-		writeError(w, http.StatusConflict, "session %q already exists", id)
-		return
-	}
-	sh.sessions[id] = sess
-	sh.mu.Unlock()
-	s.mSessions.Inc()
-	s.mSessionGauge.Set(float64(s.SessionCount()))
-	writeJSON(w, http.StatusCreated, sess.info(false))
+	writeJSON(w, http.StatusCreated, info)
 }
 
 func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
@@ -209,7 +337,7 @@ func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no session %q", id)
 		return
 	}
-	info := sess.info(s.draining.Load())
+	info := sess.info(s.draining.Load(), s.clock())
 	// Health responses carry the server-wide decide latency so a polling
 	// client sees serving load next to session health. The health path may
 	// be polled at high rate, so these resolve with direct Registry.Get
@@ -234,26 +362,81 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		writeDraining(w)
 		return
 	}
-	var req DecideRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	sc := getScratch()
+	defer putScratch(sc)
+	var err error
+	sc.body, err = readBody(r.Body, sc.body, maxBodyBytes)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad decide request: %v", err)
 		return
 	}
-	sess := s.lookup(req.Session)
-	if sess == nil {
-		writeError(w, http.StatusNotFound, "no session %q", req.Session)
+	if err := json.Unmarshal(sc.body, &sc.req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad decide request: %v", err)
 		return
 	}
-	start := time.Now()
-	resp, err := sess.decide(req.X, req.Y)
-	if err != nil {
+	sess := s.lookup(sc.req.Session)
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "no session %q", sc.req.Session)
+		return
+	}
+	start := s.clock()
+	if err := sess.decideAt(start, sc.req.X, sc.req.Y, &sc.resp); err != nil {
 		s.mDecideErrs.Inc()
 		writeError(w, http.StatusBadRequest, "decide: %v", err)
 		return
 	}
-	s.mDecideTimer.Observe(time.Since(start))
+	s.mDecideTimer.Observe(s.clock().Sub(start))
 	s.mDecisions.Inc()
-	writeJSON(w, http.StatusOK, resp)
+	sc.out = sc.resp.appendJSON(sc.out[:0])
+	writeRaw(w, sc.out)
+}
+
+// handleDecideBatch amortizes the HTTP exchange, the clock read, the engine
+// catch-up and the session-lock hold over every round in the batch — the
+// serving path for callers that coordinate many tasks per scheduling tick.
+func (s *Server) handleDecideBatch(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if s.draining.Load() {
+		s.mDrainRejects.Inc()
+		writeDraining(w)
+		return
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	var err error
+	sc.body, err = readBody(r.Body, sc.body, maxBodyBytes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad batch request: %v", err)
+		return
+	}
+	if err := json.Unmarshal(sc.body, &sc.breq); err != nil {
+		writeError(w, http.StatusBadRequest, "bad batch request: %v", err)
+		return
+	}
+	if len(sc.breq.Rounds) == 0 {
+		writeError(w, http.StatusBadRequest, "batch has no rounds")
+		return
+	}
+	sess := s.lookup(sc.breq.Session)
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "no session %q", sc.breq.Session)
+		return
+	}
+	results := sc.results(len(sc.breq.Rounds))
+	start := s.clock()
+	if err := sess.decideBatchAt(start, sc.breq.Rounds, results); err != nil {
+		s.mDecideErrs.Inc()
+		writeError(w, http.StatusBadRequest, "decide: %v", err)
+		return
+	}
+	elapsed := s.clock().Sub(start)
+	s.mBatchTimer.Observe(elapsed)
+	s.mDecideTimer.ObserveN(elapsed, int64(len(results)))
+	s.mDecisions.Add(int64(len(results)))
+	s.mBatches.Inc()
+	sc.out = appendBatchJSON(sc.out[:0], sess.id, results)
+	writeRaw(w, sc.out)
 }
 
 // handleMetrics renders the registry snapshot as "key value" lines.

@@ -75,6 +75,29 @@ type DecideRequest struct {
 	Y       int    `json:"y"`
 }
 
+// Round is one (x, y) input pair inside a batched decide request.
+type Round struct {
+	X int `json:"x"`
+	Y int `json:"y"`
+}
+
+// DecideBatchRequest is the POST /v1/decide/batch body: many rounds for one
+// session in a single HTTP exchange. The whole batch plays at one wall
+// instant — the session clock advances once, then every round draws from
+// the session's state at that instant (a batch arriving together is exactly
+// that physically: the pool does not refill mid-batch).
+type DecideBatchRequest struct {
+	Session string  `json:"session"`
+	Rounds  []Round `json:"rounds"`
+}
+
+// DecideBatchResponse carries one DecideResponse per requested round, in
+// request order.
+type DecideBatchResponse struct {
+	Session string           `json:"session"`
+	Results []DecideResponse `json:"results"`
+}
+
 // DecideResponse is the routing decision for one round: each party's output
 // bit, computed without any cross-endpoint communication.
 type DecideResponse struct {
@@ -294,17 +317,23 @@ func newSession(id string, req SessionRequest, now time.Time) (*session, error) 
 	}, nil
 }
 
-// advance steps the session's virtual clock by the wall time elapsed since
-// the last advance (capped at maxAdvancePerStep), fast-forwards the supply
-// chain to it, and enforces the pair budget. It returns the new virtual
-// now. Callers hold s.mu.
-func (s *session) advance() time.Duration {
-	wall := time.Now()
+// advanceAt steps the session's virtual clock to the caller-supplied wall
+// reading (capped at maxAdvancePerStep since the last advance),
+// fast-forwards the supply chain to it, and enforces the pair budget. It
+// returns the new virtual now. Callers hold s.mu.
+//
+// The wall read is hoisted to the caller deliberately: the HTTP handlers
+// and the in-process batch path read the server clock ONCE per request, so
+// a 64-round batch pays one clock read and one engine catch-up, not 64 —
+// and an injected test clock makes the whole decide path deterministic.
+func (s *session) advanceAt(wall time.Time) time.Duration {
 	delta := wall.Sub(s.lastWall)
-	s.lastWall = wall
-	if delta < 0 {
-		delta = 0
+	if delta <= 0 {
+		// Clock unchanged (frozen test clock, same-tick batch) or moved
+		// backwards: no supply-chain work to do.
+		return s.simNow
 	}
+	s.lastWall = wall
 	if delta > maxAdvancePerStep {
 		delta = maxAdvancePerStep
 	}
@@ -317,42 +346,92 @@ func (s *session) advance() time.Duration {
 	return s.simNow
 }
 
-// decide plays one coordination round at the session's current wall-mapped
-// simulated time.
-func (s *session) decide(x, y int) (DecideResponse, error) {
+// checkInputs validates one round's inputs against the game alphabet. It
+// reads only immutable session fields, so it runs outside the lock.
+func (s *session) checkInputs(x, y int) error {
 	if x < 0 || x >= s.game.NA || y < 0 || y >= s.game.NB {
-		return DecideResponse{}, fmt.Errorf("inputs (%d,%d) outside game alphabet %dx%d", x, y, s.game.NA, s.game.NB)
+		return fmt.Errorf("inputs (%d,%d) outside game alphabet %dx%d", x, y, s.game.NA, s.game.NB)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	now := s.advance()
-	d := s.core.Round(now, x, y)
-	return DecideResponse{
-		Session:    s.id,
-		A:          d.A,
-		B:          d.B,
-		Mode:       d.Mode.String(),
-		Level:      d.Level.String(),
-		Visibility: d.Visibility,
-		LatencyNS:  int64(d.Latency),
-		WaitedNS:   int64(d.Waited),
-		Win:        s.game.Wins(x, y, d.A, d.B),
-	}, nil
+	return nil
 }
 
-// info reports the session's health without playing a round. It still
-// fast-forwards the supply chain so the degradation rung reflects the
-// present, not the last decision.
-func (s *session) info(draining bool) SessionInfo {
+// fill maps a core round decision into the wire response. Alloc-free: the
+// Mode/Level names are fixed interned strings.
+func (s *session) fill(out *DecideResponse, x, y int, d core.Decision) {
+	out.Session = s.id
+	out.A = d.A
+	out.B = d.B
+	out.Mode = d.Mode.String()
+	out.Level = d.Level.String()
+	out.Visibility = d.Visibility
+	out.LatencyNS = int64(d.Latency)
+	out.WaitedNS = int64(d.Waited)
+	out.Win = s.game.Wins(x, y, d.A, d.B)
+}
+
+// decideAt plays one coordination round at the given wall reading, writing
+// the response into *out (caller-owned, typically pooled). The lock covers
+// only the engine catch-up and the round itself; validation and response
+// encoding happen outside it.
+func (s *session) decideAt(wall time.Time, x, y int, out *DecideResponse) error {
+	if err := s.checkInputs(x, y); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	now := s.advanceAt(wall)
+	d := s.core.Round(now, x, y)
+	s.mu.Unlock()
+	s.fill(out, x, y, d)
+	return nil
+}
+
+// decideBatchAt plays len(rounds) rounds in one lock hold at a single wall
+// reading: one clock read, one engine catch-up, len(rounds) strategy draws.
+// out must have len(rounds) elements; results land in request order. On an
+// input-validation error nothing is played (all-or-nothing, so a client
+// never has to guess which prefix executed).
+func (s *session) decideBatchAt(wall time.Time, rounds []Round, out []DecideResponse) error {
+	for i := range rounds {
+		if err := s.checkInputs(rounds[i].X, rounds[i].Y); err != nil {
+			return fmt.Errorf("round %d: %w", i, err)
+		}
+	}
+	s.mu.Lock()
+	now := s.advanceAt(wall)
+	for i := range rounds {
+		d := s.core.Round(now, rounds[i].X, rounds[i].Y)
+		s.fill(&out[i], rounds[i].X, rounds[i].Y, d)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// infoAdvanceTick bounds how often the read path may fast-forward the
+// supply chain: info() advances only when at least this much wall time has
+// passed since the last advance. Health polls hammering GET
+// /v1/sessions/{id} during a load test therefore cost map lookups and
+// field reads, not engine catch-up work that would serialize against (and
+// perturb) decide-path latency.
+const infoAdvanceTick = time.Millisecond
+
+// info reports the session's health without playing a round. It
+// fast-forwards the supply chain at most once per infoAdvanceTick so the
+// degradation rung tracks the present without making every poll pay (or
+// inflict) catch-up work.
+func (s *session) info(draining bool, wall time.Time) SessionInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.advance()
+	if wall.Sub(s.lastWall) >= infoAdvanceTick {
+		s.advanceAt(wall)
+	}
 	st := s.core.Stats()
 	h := s.core.Health()
 	return SessionInfo{
-		ID:                 s.id,
-		Game:               s.gameName,
-		Endpoints:          append([]string(nil), s.endpoints...),
+		ID:   s.id,
+		Game: s.gameName,
+		// The endpoint list is immutable after creation; sharing it with the
+		// encoder saves a per-poll allocation. Callers must not mutate it.
+		Endpoints:          s.endpoints,
 		Level:              h.Level().String(),
 		Visibility:         h.Visibility(),
 		SupplyRate:         h.SupplyRate(),
