@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify race lint bench bench-report bench-solvers bench-solvers-baseline bench-simscale bench-simscale-baseline bench-loadtest bench-serve-baseline repro soak qcoordd-smoke clean
+.PHONY: build test verify race lint bench bench-report bench-solvers bench-solvers-baseline bench-simscale bench-simscale-baseline bench-loadtest bench-serve-baseline repro frontier soak qcoordd-smoke clean
 
 build:
 	$(GO) build ./...
@@ -82,7 +82,15 @@ bench-serve-baseline:
 repro:
 	$(GO) run ./cmd/repro
 
-# Kill/resume soak: storm the E1–E17 sweep with schedule-drawn kills,
+# Regenerate FRONTIER_advantage.csv: the E20 quantum-vs-classical advantage
+# frontier (decision deadline × fiber distance × source visibility). The
+# grid is a pure function of the seed — every point simulates on its own
+# derived stream — so CI regenerates it at two worker counts and requires a
+# byte-for-byte match with the committed copy.
+frontier:
+	$(GO) run ./cmd/repro -frontier FRONTIER_advantage.csv
+
+# Kill/resume soak: storm the E1–E20 sweep with schedule-drawn kills,
 # resume from the crash-safe checkpoint each time, and require the
 # converged output to be byte-identical to an uninterrupted run. The log
 # lands in soak.log (uploaded as a CI artifact). Short budget by default;

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/loadtest"
 	"repro/internal/serve"
+	"repro/internal/workload"
 )
 
 // The -loadtest report (BENCH_loadtest.json, regenerate with
@@ -33,11 +34,15 @@ type loadtestRun struct {
 	Name string `json:"name"`
 	// DurationMS / TargetRPS / Sessions echo the config so the report is
 	// self-describing.
-	DurationMS float64             `json:"duration_ms"`
-	TargetRPS  float64             `json:"target_rps"`
-	Sessions   int                 `json:"sessions"`
-	Scenarios  []loadtest.Scenario `json:"scenarios"`
-	Result     *loadtest.Result    `json:"result"`
+	DurationMS float64 `json:"duration_ms"`
+	TargetRPS  float64 `json:"target_rps"`
+	// Rate is the non-stationary intensity profile, when one replaces the
+	// constant TargetRPS (absent for the stationary sections, which keeps
+	// their committed bytes untouched).
+	Rate      *workload.RateProfile `json:"rate,omitempty"`
+	Sessions  int                   `json:"sessions"`
+	Scenarios []loadtest.Scenario   `json:"scenarios"`
+	Result    *loadtest.Result      `json:"result"`
 }
 
 // loadtestReport is the BENCH_loadtest.json schema.
@@ -65,6 +70,15 @@ type loadtestReport struct {
 //   - batch-heavy: 64- and 256-round batches against the well-provisioned
 //     source — batch64 fits the ~100-pair budget, batch256 overruns it, so
 //     one run exhibits both regimes side by side.
+//   - diurnal: the default mix under a sinusoidal intensity profile (2000
+//     RPS ± 60% over 500 ms) — the peak phases press toward the saturation
+//     regime while the troughs recover, all in one deterministic run.
+//   - flash-crowd: a 1500 RPS baseline hit at t=1s by a 6× spike decaying
+//     over 100 ms against the default (1e5 pairs/s) source — the burst
+//     drains the pool and the report shows the fallback tail it causes.
+//   - heavy-tail: request sizes drawn from a truncated Pareto (shape 1.2,
+//     scale 2, cap 256) — most requests are small but the tail carries
+//     batch256-class work, the open-loop analogue of batch-heavy.
 func loadtestConfigs(seed uint64) []struct {
 	name string
 	cfg  loadtest.Config
@@ -95,6 +109,31 @@ func loadtestConfigs(seed uint64) []struct {
 			Scenarios: []loadtest.Scenario{
 				{Name: "batch64", Weight: 0.7, Batch: 64},
 				{Name: "batch256", Weight: 0.2, Batch: 256},
+				{Name: "info", Weight: 0.1, Info: true},
+			},
+			SessionTemplate: provisioned,
+		}},
+		{"diurnal", loadtest.Config{
+			Seed:            seed + 3,
+			Duration:        2 * time.Second,
+			Rate:            workload.DiurnalProfile(2000, 0.6, 500*time.Millisecond),
+			Sessions:        4,
+			SessionTemplate: provisioned,
+		}},
+		{"flash-crowd", loadtest.Config{
+			Seed:     seed + 4,
+			Duration: 2 * time.Second,
+			Rate:     workload.FlashProfile(1500, time.Second, 6, 100*time.Millisecond),
+			Sessions: 4,
+		}},
+		{"heavy-tail", loadtest.Config{
+			Seed:      seed + 5,
+			Duration:  2 * time.Second,
+			TargetRPS: 1000,
+			Sessions:  4,
+			Scenarios: []loadtest.Scenario{
+				{Name: "decide", Weight: 0.6, Batch: 1},
+				{Name: "heavy", Weight: 0.3, HeavyTail: &loadtest.HeavyTailBatch{Shape: 1.2, Scale: 2, Max: 256}},
 				{Name: "info", Weight: 0.1, Info: true},
 			},
 			SessionTemplate: provisioned,
@@ -171,6 +210,7 @@ func describeRun(name string, cfg loadtest.Config, res *loadtest.Result) loadtes
 		Name:       name,
 		DurationMS: ms(cfg.Duration),
 		TargetRPS:  cfg.TargetRPS,
+		Rate:       cfg.Rate,
 		Sessions:   sessions,
 		Scenarios:  scen,
 		Result:     res,

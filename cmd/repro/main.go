@@ -1,11 +1,11 @@
-// Command repro runs every experiment end-to-end (E1–E17) with reduced but
+// Command repro runs every experiment end-to-end (E1–E20, E18 reserved) with reduced but
 // statistically meaningful sizes and prints the consolidated tables recorded
 // in EXPERIMENTS.md. Use -full for publication-scale runs (slower), or the
 // per-experiment binaries (cmd/chsh, cmd/xorgame, cmd/qlbsim, cmd/ecmpstudy,
 // cmd/latency) for finer control.
 //
 // Independent experiments fan out over a worker pool (-workers, default
-// GOMAXPROCS); output is buffered per experiment and emitted in E1..E17
+// GOMAXPROCS); output is buffered per experiment and emitted in E1..E20
 // order, byte-identical at any worker count for a fixed seed.
 //
 // Resilience: the run is supervised by a control plane (internal/run).
@@ -51,6 +51,7 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "snapshot completed experiments to this file (crash-safe)")
 	resume := flag.Bool("resume", false, "resume from -checkpoint, replaying completed experiments")
 	metricsPath := flag.String("metrics", "", "write a JSON run artifact to this path (- for stdout)")
+	frontier := flag.String("frontier", "", "write the E20 advantage-frontier CSV artifact to this path (- for stdout) and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this path")
 	flag.Parse()
@@ -85,6 +86,31 @@ func main() {
 	scale := 1.0
 	if *full {
 		scale = 5
+	}
+
+	// Artifact mode: regenerate the committed advantage-frontier grid
+	// (byte-identical at any -workers and at any shard of the grid — each
+	// point has its own derived stream) and exit. The committed
+	// FRONTIER_advantage.csv is this command at the default seed and scale.
+	if *frontier != "" {
+		out := os.Stdout
+		if *frontier != "-" {
+			f, err := os.Create(*frontier)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "repro:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := experiments.WriteFrontierCSV(out, experiments.Options{Seed: *seed, Scale: scale}); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		if *frontier != "-" {
+			fmt.Fprintln(os.Stderr, "wrote", *frontier)
+		}
+		return
 	}
 
 	ctrl := run.NewController(context.Background(), run.Config{

@@ -3,7 +3,7 @@
 // losing or corrupting results.
 //
 // One soak cycle is a crash-recovery storm. The harness first records the
-// reference output of an uninterrupted E1–E17 sweep, then replays the sweep
+// reference output of an uninterrupted E1–E20 sweep, then replays the sweep
 // under fire: kill instants are drawn from an internal/faults renewal
 // process (KindPoolFlush windows — instantaneous faults — over the cycle
 // horizon), each kill cancels the run mid-flight via the controller, and

@@ -15,28 +15,20 @@ import (
 	"fmt"
 
 	ftlq "repro"
-	"repro/internal/loadbalance"
-	"repro/internal/workload"
+	"repro/internal/experiments"
 )
 
 func main() {
-	const dispatchers = 64 // balancer pairs share entangled qubits
-
 	fmt.Println("GPU kernel dispatch: 64 dispatchers → SMs, texture-sharing kernels")
 	fmt.Println("want colocation, exclusive kernels want isolation")
 	fmt.Println()
 	fmt.Printf("%-10s %-22s %-22s %-10s\n", "SMs", "random dispatch", "entangled dispatch", "speedup")
 
-	for _, sms := range []int{100, 72, 64, 58, 53} {
-		cfg := ftlq.LBConfig{
-			NumBalancers: dispatchers,
-			NumServers:   sms,
-			Warmup:       2000,
-			Slots:        12000,
-			Discipline:   loadbalance.BatchCFirst,
-			Workload:     workload.Bernoulli{PC: 0.5},
-			Seed:         7,
-		}
+	// The scenario definition is shared with experiment E19, which tables
+	// the knee of this sweep; the example runs the full SM range at
+	// publication slot counts.
+	for _, sms := range experiments.GPUSchedulerSMs() {
+		cfg := experiments.GPUSchedulerConfig(sms, 2000, 12000)
 		classical := ftlq.RunLB(cfg, ftlq.NewRandomLB())
 		quantum := ftlq.RunLB(cfg, ftlq.NewQuantumLB(0.95, 7))
 

@@ -12,38 +12,24 @@ import (
 	"fmt"
 
 	ftlq "repro"
+	"repro/internal/experiments"
 )
 
 func main() {
-	// Function classes: 0 thumbnailer, 1 transcoder, 2 ML-inference,
-	// 3 report-generator.
-	names := []string{"thumbnailer", "transcoder", "ml-inference", "report-gen"}
-	const n = 4
-
-	labels := make([][]ftlq.EdgeLabel, n)
-	for i := range labels {
-		labels[i] = make([]ftlq.EdgeLabel, n)
-	}
-	set := func(a, b int, l ftlq.EdgeLabel) { labels[a][b], labels[b][a] = l, l }
-	// Thumbnailer and transcoder share codec caches → colocate.
-	set(0, 1, ftlq.Colocate)
-	// ML inference monopolizes the GPU → exclusive with everything.
-	set(0, 2, ftlq.Exclusive)
-	set(1, 2, ftlq.Exclusive)
-	set(2, 3, ftlq.Exclusive)
-	// Report generator reuses thumbnails → colocate with thumbnailer,
-	// exclusive with the bandwidth-hungry transcoder.
-	set(0, 3, ftlq.Colocate)
-	set(1, 3, ftlq.Exclusive)
-
-	game := ftlq.GraphXORGame("serverless-affinity", n, labels)
+	// The affinity graph and class names are shared with experiment E19,
+	// which also runs this game's optimal strategies through the queueing
+	// simulator. Function classes: 0 thumbnailer, 1 transcoder,
+	// 2 ML-inference, 3 report-generator.
+	names := experiments.ServerlessAffinityNames()
+	n := len(names)
+	game := experiments.ServerlessAffinityGame()
 
 	fmt.Println("affinity graph (two routers receive function invocations and must")
 	fmt.Println("pick the same or different workers with zero communication):")
 	for a := 0; a < n; a++ {
 		for b := a + 1; b < n; b++ {
 			rel := "colocate "
-			if labels[a][b] == ftlq.Exclusive {
+			if game.Parity[a][b] == 1 {
 				rel = "exclusive"
 			}
 			fmt.Printf("  %-12s – %-12s %s\n", names[a], names[b], rel)

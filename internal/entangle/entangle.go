@@ -32,6 +32,11 @@ type SourceConfig struct {
 	FiberLengthM float64
 	// AttenuationDBPerKm is fiber loss; 0.2 dB/km is standard telecom fiber.
 	AttenuationDBPerKm float64
+	// HeraldLatency is the classical post-processing delay between photon
+	// arrival and the pair becoming usable (heralding detection, coincidence
+	// matching, calibration) — the delivery-latency knob beyond raw fiber
+	// propagation. Zero (the default) models instantaneous heralding.
+	HeraldLatency time.Duration
 }
 
 // DefaultSource returns a mid-range room-temperature SPDC setup: 10⁵
@@ -59,6 +64,9 @@ func (c SourceConfig) Validate() error {
 	}
 	if c.FiberLengthM < 0 || c.AttenuationDBPerKm < 0 {
 		return fmt.Errorf("entangle: negative fiber parameters")
+	}
+	if c.HeraldLatency < 0 {
+		return fmt.Errorf("entangle: negative herald latency")
 	}
 	return nil
 }
@@ -100,6 +108,15 @@ func (c SourceConfig) RateForParties(n int) float64 {
 func (c SourceConfig) PropagationDelay() time.Duration {
 	const fiberSpeed = 2.0e8 // m/s
 	return time.Duration(c.FiberLengthM / fiberSpeed * float64(time.Second))
+}
+
+// DeliveryLatency is the total generation-to-usable delay of one pair:
+// fiber propagation plus heralding. This is the quantity the advantage
+// frontier (E20) sweeps against the decision deadline — pairs must be IN
+// the pool before a request arrives for the quantum path to beat a
+// classical round trip.
+func (c SourceConfig) DeliveryLatency() time.Duration {
+	return c.PropagationDelay() + c.HeraldLatency
 }
 
 // QNICConfig describes the servers' quantum NIC (§3): bounded room-

@@ -4,6 +4,9 @@ import (
 	"math"
 	"testing"
 	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/xrand"
 )
 
 func TestDefaultConfigsValid(t *testing.T) {
@@ -90,6 +93,50 @@ func TestPropagationDelayKilometer(t *testing.T) {
 	if c.PropagationDelay() != 5*time.Microsecond {
 		t.Fatalf("1 km delay = %v, want 5µs", c.PropagationDelay())
 	}
+}
+
+func TestDeliveryLatencyAddsHerald(t *testing.T) {
+	c := DefaultSource()
+	c.FiberLengthM = 1000
+	// Default zero herald latency: delivery latency IS propagation — the
+	// invariant that keeps every committed pre-knob artifact byte-identical.
+	if c.DeliveryLatency() != c.PropagationDelay() {
+		t.Fatalf("zero herald latency must leave delivery = propagation (%v vs %v)",
+			c.DeliveryLatency(), c.PropagationDelay())
+	}
+	c.HeraldLatency = 3 * time.Microsecond
+	if err := c.Validate(); err != nil {
+		t.Fatalf("herald latency rejected: %v", err)
+	}
+	if c.DeliveryLatency() != 8*time.Microsecond {
+		t.Fatalf("1 km + 3µs herald = %v, want 8µs", c.DeliveryLatency())
+	}
+	c.HeraldLatency = -time.Microsecond
+	if err := c.Validate(); err == nil {
+		t.Fatal("negative herald latency accepted")
+	}
+}
+
+func TestServiceHonorsHeraldLatency(t *testing.T) {
+	var engine netsim.Engine
+	src := DefaultSource()
+	src.FiberLengthM = 0 // isolate the herald term
+	src.AttenuationDBPerKm = 0
+	src.HeraldLatency = 40 * time.Microsecond
+	pool := NewPool(DefaultQNIC(), 0)
+	svc := StartService(&engine, src, pool, xrand.New(5, 1))
+	// Run to just past the first generation tick (10µs at 1e5 pairs/s): the
+	// pair is in flight, not yet usable.
+	engine.RunUntil(src.Interval() + time.Microsecond)
+	if _, ok := pool.TryConsume(engine.Now()); ok {
+		t.Fatal("pair usable before the herald latency elapsed")
+	}
+	// After tick + herald it must have landed.
+	engine.RunUntil(src.Interval() + src.HeraldLatency + time.Microsecond)
+	if _, ok := pool.TryConsume(engine.Now()); !ok {
+		t.Fatal("pair not delivered after the herald latency")
+	}
+	svc.Stop()
 }
 
 func TestPairVisibilityDecay(t *testing.T) {

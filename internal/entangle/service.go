@@ -59,7 +59,10 @@ func StartService(e *netsim.Engine, src SourceConfig, pool *Pool, rng *xrand.RNG
 	}
 	s := &Service{Source: src, Pool: pool, engine: e, rng: rng, deliveryScale: 1}
 	delivery := src.DeliveryProbability()
-	propagation := src.PropagationDelay()
+	// Pairs become usable one full delivery latency (propagation +
+	// heralding) after generation; with the default zero herald latency this
+	// is exactly the historical propagation-only schedule.
+	propagation := src.DeliveryLatency()
 	s.cancel = e.Every(src.Interval(), func() {
 		if s.outage {
 			s.stats.Suppressed++

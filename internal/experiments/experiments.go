@@ -1,4 +1,4 @@
-// Package experiments holds the paper's seventeen experiments (E1–E17) as
+// Package experiments holds the paper's experiments (E1–E20, E18 reserved) as
 // self-contained, writer-directed jobs, plus the parallel runner that
 // regenerates them all. cmd/repro is a thin CLI over RunAll; cmd/bench
 // times the same jobs individually to track the performance trajectory.
@@ -64,7 +64,9 @@ type Experiment struct {
 	Run   func(w io.Writer, o Options)
 }
 
-// All returns the experiments in their E1–E17 presentation order.
+// All returns the experiments in their presentation order. E18 is reserved
+// by the serving-path load-test family (see EXPERIMENTS.md), which reports
+// through cmd/bench artifacts rather than a repro block.
 func All() []Experiment {
 	return []Experiment{
 		{"E1", "E1: CHSH values (§2)", e1},
@@ -84,6 +86,8 @@ func All() []Experiment {
 		{"E15", "E15: noise-adaptive measurement (anisotropic channels)", e15},
 		{"E16", "E16: E91 quantum key distribution (refs [24,45] on our substrate)", e16},
 		{"E17", "E17: chaos — fault injection and graceful degradation", e17},
+		{"E19", "E19: scenario diversity — non-stationary workloads and promoted examples", e19},
+		{"E20", "E20: the latency-constrained advantage frontier (deadline × distance × visibility)", e20},
 	}
 }
 
@@ -95,11 +99,11 @@ type Timing struct {
 
 // RunAll regenerates every experiment, fanning them out over `workers`
 // goroutines (<= 0 means the parallel package default) while emitting each
-// experiment's output block to w in E1..E17 order as soon as it and all of
+// experiment's output block to w in E1..E20 order as soon as it and all of
 // its predecessors have finished. Output bytes are identical at any worker
 // count.
 //
-// Each experiment's wall time is returned in E1..E17 order and recorded in
+// Each experiment's wall time is returned in E1..E20 order and recorded in
 // the default metrics registry (experiment_wall{id=...} timers plus an
 // experiments_completed counter), so a -metrics artifact written after the
 // run carries the per-experiment breakdown.

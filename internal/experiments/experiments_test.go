@@ -9,7 +9,7 @@ import (
 )
 
 // tinyOpts keeps every experiment to a few milliseconds so the invariance
-// test can afford two full E1–E17 passes.
+// test can afford two full E1–E20 passes.
 func tinyOpts() Options { return Options{Seed: 42, Scale: 0.02} }
 
 func TestRunAllWorkerInvariance(t *testing.T) {
@@ -59,10 +59,10 @@ func TestOptionsScaleFloorsAtOne(t *testing.T) {
 	}
 }
 
-func TestAllHasSeventeenUniqueIDs(t *testing.T) {
+func TestAllHasNineteenUniqueIDs(t *testing.T) {
 	exps := All()
-	if len(exps) != 17 {
-		t.Fatalf("len(All()) = %d, want 17", len(exps))
+	if len(exps) != 19 {
+		t.Fatalf("len(All()) = %d, want 19", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -80,7 +80,7 @@ func TestAllHasSeventeenUniqueIDs(t *testing.T) {
 }
 
 // TestRunAllReturnsTimings: the observability contract of RunAll — one
-// wall-time entry per experiment, in E1..E17 order, all positive, and the
+// wall-time entry per experiment, in E1..E20 order, all positive, and the
 // per-experiment timers land in the default metrics registry.
 func TestRunAllReturnsTimings(t *testing.T) {
 	if testing.Short() {

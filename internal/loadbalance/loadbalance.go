@@ -183,6 +183,11 @@ func (c Config) Validate() error {
 	if c.Workload == nil {
 		return fmt.Errorf("loadbalance: nil workload")
 	}
+	if v, ok := c.Workload.(workload.Validator); ok {
+		if err := v.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -251,6 +256,15 @@ func Run(cfg Config, strat Strategy) Result {
 func RunE(cfg Config, strat Strategy) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
+	}
+	// Stateful generators (phase machines, slot counters) are cloned per
+	// run: sweeps and sharded cells copy one Config — and with it one
+	// Generator pointer — across repetitions and worker goroutines, so
+	// running the prototype directly would leak phase state between runs
+	// and race between cells. Each run gets a pristine private instance;
+	// stateless generators (Bernoulli, MultiClass) pass through untouched.
+	if c, ok := cfg.Workload.(workload.Cloner); ok {
+		cfg.Workload = c.CloneGenerator()
 	}
 	rng := xrand.New(cfg.Seed, 0x10adba1)
 	world := NewWorld(cfg.NumServers)

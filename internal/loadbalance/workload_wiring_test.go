@@ -1,0 +1,106 @@
+package loadbalance
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// These tests pin the Run↔workload wiring added with the trace-shaped
+// generators: stateful generators are cloned per run (no phase leaks across
+// repetitions, no data races across sharded cells) and generator parameter
+// errors surface as RunE errors at the sweep boundary, not index panics
+// inside a worker.
+
+// TestStatefulGeneratorRepetitionParity is the phase-leak regression test:
+// two Run calls from ONE Config sharing ONE *Bursty prototype must be
+// identical. Pre-fix, the second run started in whatever per-balancer
+// phases the first ended in and the results diverged.
+func TestStatefulGeneratorRepetitionParity(t *testing.T) {
+	cfg := Config{
+		NumBalancers: 20, NumServers: 18,
+		Warmup: 100, Slots: 800,
+		Discipline: BatchCFirst,
+		Workload:   workload.NewBursty(0.9, 0.1, 0.02, 20),
+		Seed:       61,
+	}
+	first := Run(cfg, RandomStrategy{})
+	second := Run(cfg, RandomStrategy{})
+	if first.QueueLen.Mean() != second.QueueLen.Mean() || first.Arrived != second.Arrived {
+		t.Fatalf("repeated runs from one generator prototype diverged: queue %v vs %v, arrived %d vs %d",
+			first.QueueLen.Mean(), second.QueueLen.Mean(), first.Arrived, second.Arrived)
+	}
+}
+
+// TestSharedStatefulGeneratorAcrossCells drives RunSharded — which hands
+// the SAME Generator pointer to every concurrent cell — with a stateful
+// bursty workload. The per-run clone makes this race-free (the -race CI
+// pass covers this test) and shard-count invariant.
+func TestSharedStatefulGeneratorAcrossCells(t *testing.T) {
+	base := ShardedConfig{
+		Cells: 8, CellBalancers: 10, CellServers: 9,
+		Warmup: 50, Slots: 400,
+		Discipline: BatchCFirst,
+		Workload:   workload.NewBursty(0.85, 0.15, 0.03, 10),
+		Seed:       62,
+	}
+	run := func(shards int) Result {
+		cfg := base
+		cfg.Shards = shards
+		res, err := RunSharded(cfg, func(cell int) Strategy { return RandomStrategy{} })
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return res
+	}
+	one := run(1)
+	for _, shards := range []int{4, 8} {
+		got := run(shards)
+		if got.QueueLen.Mean() != one.QueueLen.Mean() || got.Arrived != one.Arrived {
+			t.Fatalf("sharded run with shared bursty generator differs at shards=%d: queue %v vs %v",
+				shards, got.QueueLen.Mean(), one.QueueLen.Mean())
+		}
+	}
+}
+
+// TestRunERejectsInvalidMultiClass: a short ClassTypes used to panic with a
+// bare index error on whatever draw first landed in the missing tail; now
+// Config.Validate consults workload.Validator and RunE reports it.
+func TestRunERejectsInvalidMultiClass(t *testing.T) {
+	cfg := Config{
+		NumBalancers: 10, NumServers: 10,
+		Slots:      100,
+		Discipline: BatchSameClassC,
+		Workload: workload.MultiClass{
+			Weights:    []float64{1, 1, 1},
+			ClassTypes: []workload.TaskType{workload.TypeE, workload.TypeC}, // short
+		},
+		Seed: 63,
+	}
+	_, err := RunE(cfg, RandomStrategy{})
+	if err == nil {
+		t.Fatal("expected a validation error for mismatched MultiClass tables")
+	}
+	if !strings.Contains(err.Error(), "class types") {
+		t.Fatalf("error should name the table mismatch, got: %v", err)
+	}
+}
+
+// TestRunERejectsInvalidTraceGenerators covers the other Validator
+// implementations through the same wiring.
+func TestRunERejectsInvalidTraceGenerators(t *testing.T) {
+	for name, gen := range map[string]workload.Generator{
+		"bursty":     &workload.Bursty{PCHot: 1.5},
+		"diurnal":    &workload.DiurnalMix{PC: 0.5, Amp: 0.2, PeriodSlots: 0},
+		"correlated": &workload.CorrelatedBursts{Corr: -0.1},
+	} {
+		cfg := Config{
+			NumBalancers: 4, NumServers: 4, Slots: 10,
+			Workload: gen, Seed: 64,
+		}
+		if _, err := RunE(cfg, RandomStrategy{}); err == nil {
+			t.Fatalf("%s: expected a validation error", name)
+		}
+	}
+}

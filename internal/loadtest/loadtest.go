@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/workload"
 	"repro/internal/xrand"
 )
 
@@ -46,6 +47,43 @@ type Scenario struct {
 	Batch int `json:"batch"`
 	// Info makes the request a session health poll instead of a decision.
 	Info bool `json:"info,omitempty"`
+	// HeavyTail, when set, replaces the fixed Batch with a per-request
+	// batch size drawn from a truncated Pareto — the heavy-tailed
+	// service-demand regime where a small fraction of requests carries most
+	// of the rounds. Sizes come from their own derived stream, so adding a
+	// heavy-tailed scenario never perturbs the other streams.
+	HeavyTail *HeavyTailBatch `json:"heavy_tail,omitempty"`
+}
+
+// HeavyTailBatch parametrizes a truncated-Pareto batch-size law: sizes are
+// clamp(⌊Pareto(Shape, Scale)⌋, 1, Max).
+type HeavyTailBatch struct {
+	Shape float64 `json:"shape"`
+	Scale float64 `json:"scale"`
+	Max   int     `json:"max"`
+}
+
+// draw samples one batch size.
+func (h HeavyTailBatch) draw(rng *xrand.RNG) int {
+	n := int(workload.Pareto{Shape: h.Shape, Scale: h.Scale}.Sample(rng))
+	if n < 1 {
+		n = 1
+	}
+	if h.Max > 0 && n > h.Max {
+		n = h.Max
+	}
+	return n
+}
+
+// validate checks the law.
+func (h HeavyTailBatch) validate() error {
+	if err := (workload.Pareto{Shape: h.Shape, Scale: h.Scale}).Validate(); err != nil {
+		return err
+	}
+	if h.Max < 1 {
+		return fmt.Errorf("heavy-tail batch max must be at least 1 (got %d): the tail must be truncated so batch buffers stay bounded", h.Max)
+	}
+	return nil
 }
 
 // DefaultScenarios is the standard serving mix: mostly single decisions,
@@ -68,6 +106,12 @@ type Config struct {
 	// TargetRPS is the open-loop arrival rate in requests/second
 	// (default 2000). Arrivals are Poisson: exponential inter-arrival gaps.
 	TargetRPS float64 `json:"target_rps"`
+	// Rate, when set, replaces the constant TargetRPS with a non-stationary
+	// intensity profile (diurnal modulation, flash crowds): arrivals become a
+	// non-homogeneous Poisson process realized by thinning candidates drawn
+	// at the profile's envelope rate. TargetRPS is ignored when Rate is set.
+	// Nil keeps the historical constant-rate path byte-identical.
+	Rate *workload.RateProfile `json:"rate,omitempty"`
 	// Scenarios is the weighted request mix (default DefaultScenarios).
 	Scenarios []Scenario `json:"scenarios"`
 	// Sessions is how many independent sessions the load spreads over
@@ -127,6 +171,13 @@ const (
 	streamScenario = 2
 	streamSessions = 3
 	streamInputs   = 4
+	// streamSizes feeds heavy-tailed batch-size draws; streamThinning feeds
+	// the acceptance test for non-stationary rate profiles. Both are new
+	// consumers on their own streams, so plans without heavy-tail scenarios or
+	// a Rate profile never touch them and stay byte-identical to pre-profile
+	// plans — and adding a Rate profile never perturbs the size draws.
+	streamSizes    = 5
+	streamThinning = 6
 )
 
 // BuildPlan materializes the request schedule for cfg.
@@ -141,24 +192,61 @@ func BuildPlan(cfg Config) (*Plan, error) {
 		if sc.Batch < 0 {
 			return nil, fmt.Errorf("scenario %q has negative batch", sc.Name)
 		}
+		if sc.HeavyTail != nil {
+			if err := sc.HeavyTail.validate(); err != nil {
+				return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+			}
+		}
 		weights[i] = sc.Weight
 		total += sc.Weight
 	}
 	if total <= 0 {
 		return nil, fmt.Errorf("scenario weights sum to %v", total)
 	}
+	if cfg.Rate != nil {
+		if err := cfg.Rate.Validate(); err != nil {
+			return nil, fmt.Errorf("rate profile: %w", err)
+		}
+	}
 
 	arrivals := xrand.Derive(cfg.Seed, streamArrivals)
 	scenarios := xrand.Derive(cfg.Seed, streamScenario)
 	sessions := xrand.Derive(cfg.Seed, streamSessions)
 	inputs := xrand.Derive(cfg.Seed, streamInputs)
+	sizes := xrand.Derive(cfg.Seed, streamSizes)
+	thinning := xrand.Derive(cfg.Seed, streamThinning)
 
 	p := &Plan{Config: cfg, Scenarios: cfg.Scenarios}
-	meanGap := float64(time.Second) / cfg.TargetRPS
+	// next returns the following arrival offset, or false when the window is
+	// exhausted. Constant rate draws exponential gaps directly; a profile uses
+	// Lewis–Shedler thinning: candidates at the envelope rate, each accepted
+	// with probability λ(t)/λmax.
+	var next func(at time.Duration) (time.Duration, bool)
+	if cfg.Rate == nil {
+		meanGap := float64(time.Second) / cfg.TargetRPS
+		next = func(at time.Duration) (time.Duration, bool) {
+			at += time.Duration(arrivals.ExpFloat64() * meanGap)
+			return at, at < cfg.Duration
+		}
+	} else {
+		envGap := float64(time.Second) / cfg.Rate.MaxRate()
+		next = func(at time.Duration) (time.Duration, bool) {
+			for {
+				at += time.Duration(arrivals.ExpFloat64() * envGap)
+				if at >= cfg.Duration {
+					return at, false
+				}
+				if thinning.Float64()*cfg.Rate.MaxRate() < cfg.Rate.Rate(at) {
+					return at, true
+				}
+			}
+		}
+	}
 	at := time.Duration(0)
 	for {
-		at += time.Duration(arrivals.ExpFloat64() * meanGap)
-		if at >= cfg.Duration {
+		var ok bool
+		at, ok = next(at)
+		if !ok {
 			break
 		}
 		sc := scenarios.Categorical(weights)
@@ -169,6 +257,9 @@ func BuildPlan(cfg Config) (*Plan, error) {
 		}
 		if !cfg.Scenarios[sc].Info {
 			n := cfg.Scenarios[sc].Batch
+			if ht := cfg.Scenarios[sc].HeavyTail; ht != nil {
+				n = ht.draw(sizes)
+			}
 			if n < 1 {
 				n = 1
 			}

@@ -48,6 +48,9 @@ func RunVirtualPlan(plan *Plan) (*Result, error) {
 		if sc.Batch > maxBatch {
 			maxBatch = sc.Batch
 		}
+		if sc.HeavyTail != nil && sc.HeavyTail.Max > maxBatch {
+			maxBatch = sc.HeavyTail.Max
+		}
 	}
 	out := make([]serve.DecideResponse, maxBatch)
 

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"time"
 
@@ -143,6 +144,133 @@ func TestPoissonArrivalsRate(t *testing.T) {
 	p.Reset()
 	if p.Next(rng) > last {
 		t.Fatal("Reset should restart the clock")
+	}
+}
+
+// TestBurstyParallelDistinctBalancers is the -race regression test for the
+// lazily-initialized phase map Bursty used to carry: sharded and sweep runs
+// share one generator across worker goroutines, and even with each goroutine
+// sticking to its own balancer indices the old map was a data race (lazy
+// init + concurrent map writes). The presized slice makes disjoint-element
+// writes race-free; this test fails under -race against the pre-fix code.
+func TestBurstyParallelDistinctBalancers(t *testing.T) {
+	const balancers = 8
+	g := NewBursty(0.9, 0.1, 0.05, balancers)
+	var wg sync.WaitGroup
+	for b := 0; b < balancers; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			rng := xrand.New(77, uint64(b))
+			for i := 0; i < 5000; i++ {
+				g.Next(b, rng)
+			}
+		}(b)
+	}
+	wg.Wait()
+}
+
+// TestBurstyResetParity pins the phase-leak fix: two runs from the same
+// generator, separated by Reset, must produce identical streams — before
+// Reset existed, the second run started in whatever phase the first ended
+// in. PoissonArrivals gets the same parity check for its clock.
+func TestBurstyResetParity(t *testing.T) {
+	g := NewBursty(0.95, 0.05, 0.02, 4)
+	draw := func() []Task {
+		out := make([]Task, 0, 4*200)
+		rng := xrand.New(78, 1)
+		for slot := 0; slot < 200; slot++ {
+			for b := 0; b < 4; b++ {
+				out = append(out, g.Next(b, rng))
+			}
+		}
+		return out
+	}
+	first := draw()
+	g.Reset()
+	second := draw()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("draw %d differs after Reset: %v vs %v", i, first[i], second[i])
+		}
+	}
+	// Clone parity: a clone replays the prototype's pristine stream.
+	g.Reset()
+	c := g.CloneGenerator().(*Bursty)
+	rngA, rngB := xrand.New(79, 1), xrand.New(79, 1)
+	for i := 0; i < 500; i++ {
+		b := i % 4
+		if g.Next(b, rngA) != c.Next(b, rngB) {
+			t.Fatalf("clone diverged at draw %d", i)
+		}
+	}
+}
+
+func TestPoissonResetParity(t *testing.T) {
+	p := &PoissonArrivals{Rate: 500}
+	draw := func() []time.Duration {
+		out := make([]time.Duration, 300)
+		rng := xrand.New(80, 1)
+		for i := range out {
+			out[i] = p.Next(rng)
+		}
+		return out
+	}
+	first := draw()
+	p.Reset()
+	second := draw()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("arrival %d differs after Reset: %v vs %v", i, first[i], second[i])
+		}
+	}
+}
+
+// TestPoissonArrivalsTinyRateSaturates is the overflow regression test: at
+// rates tiny enough that one exponential gap exceeds int64 nanoseconds, the
+// pre-fix conversion wrapped negative and arrival times walked backwards.
+// The clock must instead saturate at the maximum Duration and stay there.
+func TestPoissonArrivalsTinyRateSaturates(t *testing.T) {
+	p := &PoissonArrivals{Rate: 1e-15} // mean gap ~1e15 s ≈ 1e24 ns >> MaxInt64
+	rng := xrand.New(81, 1)
+	var last time.Duration
+	for i := 0; i < 100; i++ {
+		ts := p.Next(rng)
+		if ts < 0 {
+			t.Fatalf("arrival %d went negative: %v", i, ts)
+		}
+		if ts < last {
+			t.Fatalf("arrival %d moved backwards: %v after %v", i, ts, last)
+		}
+		last = ts
+	}
+	if last != math.MaxInt64 {
+		t.Fatalf("clock should saturate at MaxInt64, got %v", last)
+	}
+	// A clock already near the end of time must saturate, not wrap.
+	q := &PoissonArrivals{Rate: 1000, last: math.MaxInt64 - 10}
+	if ts := q.Next(rng); ts != math.MaxInt64 {
+		t.Fatalf("near-limit clock should pin to MaxInt64, got %v", ts)
+	}
+}
+
+func TestMultiClassValidate(t *testing.T) {
+	good := MultiClass{
+		Weights:    []float64{1, 2},
+		ClassTypes: []TaskType{TypeE, TypeC},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for name, bad := range map[string]MultiClass{
+		"short types":      {Weights: []float64{1, 1, 1}, ClassTypes: []TaskType{TypeE, TypeC}},
+		"empty":            {},
+		"negative weight":  {Weights: []float64{1, -1}, ClassTypes: []TaskType{TypeE, TypeC}},
+		"zero-sum weights": {Weights: []float64{0, 0}, ClassTypes: []TaskType{TypeE, TypeC}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("%s: expected a validation error", name)
+		}
 	}
 }
 
