@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify race lint bench bench-report bench-solvers bench-solvers-baseline bench-simscale bench-simscale-baseline bench-loadtest bench-serve-baseline repro frontier soak qcoordd-smoke clean
+.PHONY: build test verify race lint bench bench-report bench-solvers bench-solvers-baseline bench-simscale bench-simscale-baseline bench-loadtest bench-serve-baseline bench-overload bench-overload-baseline repro frontier soak qcoordd-smoke clean
 
 build:
 	$(GO) build ./...
@@ -65,12 +65,28 @@ bench-simscale-baseline:
 		-benchtime 1000000x -benchmem -count 6 | tee .github/bench-simscale-baseline.txt
 
 # Regenerate BENCH_loadtest.json: the deterministic serving-path load test
-# (virtual-time open-loop generator, internal/loadtest). The report is a
-# pure function of the seed — CI regenerates it and requires a byte-for-byte
-# match with the committed copy. Add -loadtest-wall for an uncommitted
-# wall-clock section.
+# (virtual-time open-loop generator, internal/loadtest), including the
+# goodput-vs-offered-load overload curve (-overload, EXPERIMENTS.md E21).
+# The report is a pure function of the seed — CI regenerates it and requires
+# a byte-for-byte match with the committed copy. Add -loadtest-wall for an
+# uncommitted wall-clock section.
 bench-loadtest:
-	$(GO) run ./cmd/bench -loadtest -out BENCH_loadtest.json
+	$(GO) run ./cmd/bench -loadtest -overload -out BENCH_loadtest.json
+
+# Admission-path microbenchmarks (gate accept/shed, limiter fast path, EWMA
+# update) — the hot-path cost of overload resilience. CI runs these and
+# compares against the committed baseline (informational, non-blocking).
+bench-overload:
+	$(GO) test ./internal/admission/ -run '^$$' \
+		-bench 'BenchmarkAdmission|BenchmarkLimiter' \
+		-benchmem -count 6 | tee bench-overload-current.txt
+
+# Refresh the committed admission-path baseline for the informational
+# benchstat comparison in CI. Run on a quiet machine.
+bench-overload-baseline:
+	$(GO) test ./internal/admission/ -run '^$$' \
+		-bench 'BenchmarkAdmission|BenchmarkLimiter' \
+		-benchmem -count 6 | tee .github/bench-overload-baseline.txt
 
 # Refresh the committed serving-path benchmark baseline (in-process decide,
 # single-round HTTP, batched HTTP) for the informational benchstat

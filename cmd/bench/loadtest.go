@@ -7,6 +7,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/loadtest"
 	"repro/internal/serve"
 	"repro/internal/workload"
@@ -52,6 +53,11 @@ type loadtestReport struct {
 	// Virtual runs are deterministic: byte-identical across reruns and
 	// machines at a fixed seed.
 	Virtual []loadtestRun `json:"virtual"`
+	// Overload is the goodput-vs-offered-load curve (-overload): the same
+	// deadline-stamped workload at 1×/2×/3× saturation against an
+	// admission-controlled server, virtual-time and committed. The
+	// interesting read is GoodputPerSec staying flat while Shed grows.
+	Overload []loadtestRun `json:"overload,omitempty"`
 	// Wall runs are real measurements (present only with -loadtest-wall;
 	// never committed).
 	Wall []loadtestRun `json:"wall,omitempty"`
@@ -141,8 +147,45 @@ func loadtestConfigs(seed uint64) []struct {
 	}
 }
 
+// overloadConfigs is the goodput-vs-offered-load curve: a decide-only
+// stream with a 5ms deadline budget against an admission-controlled server
+// whose frozen-EWMA service model is 100µs/round (capacity exactly 10k
+// decisions/s on the virtual clock), at 1×, 2× and 3× saturation. Same
+// model as internal/loadtest's TestOverloadGoodputHolds — the committed
+// curve is the experiment (EXPERIMENTS.md E21), the test is the gate.
+func overloadConfigs(seed uint64) []struct {
+	name string
+	cfg  loadtest.Config
+} {
+	var out []struct {
+		name string
+		cfg  loadtest.Config
+	}
+	for i, mult := range []float64{1, 2, 3} {
+		out = append(out, struct {
+			name string
+			cfg  loadtest.Config
+		}{
+			fmt.Sprintf("overload-%dx", int(mult)),
+			loadtest.Config{
+				Seed:           seed + uint64(10+i),
+				Duration:       time.Second,
+				TargetRPS:      10_000 * mult,
+				Sessions:       1,
+				Scenarios:      []loadtest.Scenario{{Name: "decide", Weight: 1, Batch: 1}},
+				DeadlineBudget: 5 * time.Millisecond,
+				Admission: &admission.Config{
+					InitialService: 100 * time.Microsecond,
+					MaxBacklog:     10 * time.Millisecond,
+				},
+			},
+		})
+	}
+	return out
+}
+
 // runLoadtestBench produces BENCH_loadtest.json.
-func runLoadtestBench(path string, seed uint64, wall bool) {
+func runLoadtestBench(path string, seed uint64, wall, overload bool) {
 	rep := loadtestReport{Bench: "loadtest", Seed: seed}
 
 	for _, c := range loadtestConfigs(seed) {
@@ -154,6 +197,19 @@ func runLoadtestBench(path string, seed uint64, wall bool) {
 		rep.Virtual = append(rep.Virtual, describeRun(c.name, c.cfg, res))
 		fmt.Fprintf(os.Stderr, "loadtest %-12s %7d req %8d decisions  p50 %6dns  p99 %7dns  p999 %7dns  win %.3f\n",
 			c.name, res.Requests, res.Decisions, res.Latency.P50NS, res.Latency.P99NS, res.Latency.P999NS, res.WinRate)
+	}
+
+	if overload {
+		for _, c := range overloadConfigs(seed) {
+			res, err := loadtest.RunVirtual(c.cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench: loadtest %s: %v\n", c.name, err)
+				os.Exit(1)
+			}
+			rep.Overload = append(rep.Overload, describeRun(c.name, c.cfg, res))
+			fmt.Fprintf(os.Stderr, "loadtest %-12s %7d req %7d shed  goodput %8.0f/s  p999 %7dns  max %7dns\n",
+				c.name, res.Requests, res.Shed, res.GoodputPerSec, res.Latency.P999NS, res.Latency.MaxNS)
+		}
 	}
 
 	if wall {

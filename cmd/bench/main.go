@@ -143,6 +143,7 @@ func main() {
 	simscale := flag.Bool("simscale", false, "benchmark the scaled simulator stack (calendar engine, sharded sim, striped cache) and write BENCH_simscale.json")
 	loadtestFlag := flag.Bool("loadtest", false, "run the deterministic serving-path load test (virtual-time open-loop generator) and write BENCH_loadtest.json")
 	loadtestWall := flag.Bool("loadtest-wall", false, "with -loadtest: append an uncommitted wall-clock section against a live loopback server")
+	overload := flag.Bool("overload", false, "with -loadtest: append the committed goodput-vs-offered-load curve (deadline-stamped decide stream at 1x/2x/3x saturation behind admission control)")
 	timeout := flag.Duration("timeout", 0, "whole-run deadline; passes measured so far are written as a partial report (0 = none)")
 	metricsPath := flag.String("metrics", "", "write a JSON metrics artifact for the whole bench run (- for stdout)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
@@ -162,7 +163,7 @@ func main() {
 		if path == "BENCH_parallel.json" { // flag left at default
 			path = "BENCH_loadtest.json"
 		}
-		runLoadtestBench(path, *seed, *loadtestWall)
+		runLoadtestBench(path, *seed, *loadtestWall, *overload)
 		return
 	}
 	if *simscale {

@@ -23,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/run"
 	"repro/internal/serve"
 )
@@ -32,19 +33,31 @@ func main() {
 	shards := flag.Int("shards", 16, "session-store stripe width (rounded up to a power of two)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight decisions at shutdown")
 	metricsOut := flag.String("metrics-out", "qcoordd_metrics.json", "final metrics artifact path (empty to skip)")
+	admissionOn := flag.Bool("admission", false, "enable overload admission control (concurrency limiter -> deadline gate -> priority shedding; rejects carry 429 + Retry-After)")
+	admService := flag.Duration("admission-service", 50*time.Microsecond, "with -admission: initial per-round service-time estimate (the EWMA adapts from here)")
+	admBacklog := flag.Duration("admission-max-backlog", 50*time.Millisecond, "with -admission: modeled per-shard backlog cap; requests beyond it shed regardless of priority")
+	admBudget := flag.Duration("admission-default-budget", 0, "with -admission: deadline applied to requests that arrive unstamped (0 = none)")
 	flag.Parse()
 
-	os.Exit(serveMain(*addr, *shards, *drainTimeout, *metricsOut))
+	cfg := serve.Config{Shards: *shards}
+	if *admissionOn {
+		cfg.Admission = &admission.Config{
+			InitialService: *admService,
+			MaxBacklog:     *admBacklog,
+			DefaultBudget:  *admBudget,
+		}
+	}
+	os.Exit(serveMain(*addr, cfg, *drainTimeout, *metricsOut))
 }
 
 // serveMain runs the daemon and returns the process exit code (split out so
 // deferred cleanup runs before os.Exit).
-func serveMain(addr string, shards int, drainTimeout time.Duration, metricsOut string) int {
+func serveMain(addr string, cfg serve.Config, drainTimeout time.Duration, metricsOut string) int {
 	ctl := run.NewController(context.Background(), run.Config{})
 	stopSignals := ctl.HandleSignals(os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
-	srv := serve.NewServer(serve.Config{Shards: shards})
+	srv := serve.NewServer(cfg)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qcoordd: listen: %v\n", err)

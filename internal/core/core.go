@@ -297,6 +297,25 @@ func (s *Session) resilientRound(now time.Duration, x, y int) Decision {
 	return d
 }
 
+// BrownoutRound plays one round at the load-driven brownout rung: the best
+// classical pair strategy, with no supply probe, no pool consumption, no
+// quantum sampling and no engine catch-up — the cheapest correct answer
+// the session can give. The serving layer calls it instead of Round while
+// admission control has the session's shard in brownout, so sustained
+// overload degrades compute cost before any high-priority shedding.
+// Consuming only the fallback sampler's randomness keeps it on the same
+// round RNG stream as a classical Round, and the health monitor is left
+// untouched (no probe happened, so there is nothing to observe).
+func (s *Session) BrownoutRound(x, y int) Decision {
+	s.st.Rounds++
+	a, b := s.fallback.Sample(x, y, s.rng)
+	d := Decision{A: a, B: b, Mode: ModeFallback, Level: DegradeClassical}
+	s.st.FallbackRounds++
+	s.st.LevelRounds[DegradeClassical]++
+	s.st.Wins.Add(s.cfg.Game.Wins(x, y, d.A, d.B))
+	return d
+}
+
 // reoptSampler returns the cached re-optimized strategy for the visibility's
 // bucket, synthesizing it on first use.
 func (s *Session) reoptSampler(v float64) games.JointSampler {

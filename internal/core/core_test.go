@@ -319,3 +319,56 @@ func (h *halfSupplier) TryConsume(now time.Duration) (float64, bool) {
 	h.used = true
 	return 1, true
 }
+
+// TestBrownoutRoundSkipsSupplyChain: the load-driven brownout round plays
+// the best-classical strategy without consuming pairs or probing the
+// supply — a counting supplier must see zero consumption attempts while
+// the win rate stays on the classical floor.
+func TestBrownoutRoundSkipsSupplyChain(t *testing.T) {
+	hc := HealthConfig{Window: 8}
+	supply := &countingSupplier{vis: 1}
+	s, err := NewSession(Config{
+		Game:     games.NewColocationCHSH(),
+		Supplier: supply,
+		Seed:     9,
+		Health:   &hc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(9, 0xb0)
+	for i := 0; i < 100000; i++ {
+		x, y := s.cfg.Game.SampleInput(rng)
+		d := s.BrownoutRound(x, y)
+		if d.Mode != ModeFallback || d.Level != DegradeClassical {
+			t.Fatalf("brownout round %d: mode %v level %v", i, d.Mode, d.Level)
+		}
+	}
+	if supply.calls != 0 {
+		t.Fatalf("brownout rounds consumed %d supply attempts, want 0", supply.calls)
+	}
+	st := s.Stats()
+	if st.Rounds != 100000 || st.FallbackRounds != st.Rounds ||
+		st.LevelRounds[DegradeClassical] != st.Rounds {
+		t.Fatalf("stats: %+v", st)
+	}
+	if !st.Wins.Contains95(0.75) {
+		t.Fatalf("brownout win rate %v, want classical 0.75", st.Wins.Rate())
+	}
+	// The health monitor saw nothing: no probes happened, so engaging
+	// brownout is the serving layer's job, not a side effect here.
+	if s.Health().Visibility() != 0 || s.Health().SupplyRate() != 0 {
+		t.Fatal("brownout rounds fed the health monitor")
+	}
+}
+
+// countingSupplier counts TryConsume calls and always offers a pair.
+type countingSupplier struct {
+	vis   float64
+	calls int
+}
+
+func (c *countingSupplier) TryConsume(now time.Duration) (float64, bool) {
+	c.calls++
+	return c.vis, true
+}

@@ -147,6 +147,14 @@ type HealthMonitor struct {
 
 	level  DegradeLevel
 	forced bool
+	// brownout is the load-driven rung: while set, the effective level is
+	// clamped to at least DegradeClassical regardless of what the
+	// visibility ladder says. It composes with (never replaces) the
+	// visibility-driven level — Level() reports the max of the two — so
+	// an overloaded session with a dead supply still reads as whatever
+	// the ladder chose, and a healthy one reads classical until the load
+	// drains.
+	brownout bool
 
 	critVisibility float64
 
@@ -190,7 +198,7 @@ func (h *HealthMonitor) ObserveAttempt(available bool, visibility float64) Degra
 	}
 	h.evaluate()
 	h.export()
-	return h.level
+	return h.Level()
 }
 
 // targetLevel maps the rolling signals to a rung, requiring each healthy
@@ -248,11 +256,38 @@ func (h *HealthMonitor) export() {
 	}
 	h.mVis.Set(h.vis.Mean())
 	h.mSupply.Set(h.supply.Mean())
-	h.mLevel.Set(float64(h.level))
+	h.mLevel.Set(float64(h.Level()))
 }
 
-// Level returns the current ladder rung.
-func (h *HealthMonitor) Level() DegradeLevel { return h.level }
+// Level returns the current effective ladder rung: the visibility-driven
+// rung, clamped to at least DegradeClassical while brownout is engaged.
+func (h *HealthMonitor) Level() DegradeLevel {
+	if h.brownout && h.level < DegradeClassical {
+		return DegradeClassical
+	}
+	return h.level
+}
+
+// SetBrownout engages or releases the load-driven brownout rung. It is a
+// no-op when the flag is unchanged; when the flip changes the effective
+// level, it counts as a ladder transition like any other.
+func (h *HealthMonitor) SetBrownout(on bool) {
+	if h.brownout == on {
+		return
+	}
+	before := h.Level()
+	h.brownout = on
+	if h.Level() != before {
+		h.transitions++
+		if h.mTrans != nil {
+			h.mTrans.Inc()
+		}
+	}
+	h.export()
+}
+
+// Brownout reports whether the load-driven brownout rung is engaged.
+func (h *HealthMonitor) Brownout() bool { return h.brownout }
 
 // Visibility returns the rolling mean delivered visibility.
 func (h *HealthMonitor) Visibility() float64 { return h.vis.Mean() }
@@ -267,7 +302,7 @@ func (h *HealthMonitor) Transitions() int64 { return h.transitions }
 // attempt consumption this round (round counter kept by the caller) so the
 // monitor can see the supply recover.
 func (h *HealthMonitor) ShouldProbe(round int64) bool {
-	if h.level < DegradeClassical {
+	if h.Level() < DegradeClassical {
 		return true
 	}
 	return round%int64(h.cfg.ProbeEvery) == 0

@@ -243,3 +243,89 @@ func TestSessionReoptimizeRungPlaysValidStrategy(t *testing.T) {
 		t.Fatalf("reoptimized play win rate %.4f not above the classical floor", st.Wins.Rate())
 	}
 }
+
+// TestBrownoutClampsEffectiveLevel: the load-driven rung composes with the
+// visibility ladder by max — a healthy session reads classical while
+// browned out, an already-degraded one is unchanged, and each effective
+// change counts as a transition.
+func TestBrownoutClampsEffectiveLevel(t *testing.T) {
+	h := NewHealthMonitor(HealthConfig{Window: 8, BaseVisibility: 0.98}, critV)
+	feed(h, 8, true, 0.97)
+	if h.Level() != DegradeNone {
+		t.Fatalf("setup: %v", h.Level())
+	}
+
+	h.SetBrownout(true)
+	if !h.Brownout() || h.Level() != DegradeClassical {
+		t.Fatalf("brownout on: level %v, want classical", h.Level())
+	}
+	if h.Transitions() != 1 {
+		t.Fatalf("transitions after brownout = %d, want 1", h.Transitions())
+	}
+	// Idempotent: re-engaging is a no-op.
+	h.SetBrownout(true)
+	if h.Transitions() != 1 {
+		t.Fatalf("re-engage counted a transition: %d", h.Transitions())
+	}
+
+	// The visibility ladder keeps evolving underneath; recovery observed
+	// while browned out does not lift the clamp.
+	feed(h, 8, true, 0.97)
+	if h.Level() != DegradeClassical {
+		t.Fatalf("brownout released by healthy supply: %v", h.Level())
+	}
+
+	h.SetBrownout(false)
+	if h.Level() != DegradeNone {
+		t.Fatalf("brownout off: level %v, want quantum", h.Level())
+	}
+	if h.Transitions() != 2 {
+		t.Fatalf("transitions after release = %d, want 2", h.Transitions())
+	}
+}
+
+// TestBrownoutComposesWithDegradedLadder: when the visibility ladder is
+// already at classical or worse, the brownout flip changes nothing
+// effective and therefore counts no transition; releasing brownout while
+// the supply is still bad keeps the session classical (never skips down).
+func TestBrownoutComposesWithDegradedLadder(t *testing.T) {
+	h := NewHealthMonitor(HealthConfig{Window: 8, BaseVisibility: 0.98}, critV)
+	feed(h, 8, true, 0.5) // sub-critical: ladder at classical
+	base := h.Transitions()
+
+	h.SetBrownout(true)
+	if h.Level() != DegradeClassical || h.Transitions() != base {
+		t.Fatalf("brownout over classical: level %v transitions %d (base %d)",
+			h.Level(), h.Transitions(), base)
+	}
+	h.SetBrownout(false)
+	if h.Level() != DegradeClassical || h.Transitions() != base {
+		t.Fatalf("release over classical: level %v transitions %d", h.Level(), h.Transitions())
+	}
+
+	// Forced random (dead monitor) outranks brownout's classical clamp.
+	h.Force(DegradeRandom)
+	h.SetBrownout(true)
+	if h.Level() != DegradeRandom {
+		t.Fatalf("brownout demoted forced random to %v", h.Level())
+	}
+	h.SetBrownout(false)
+}
+
+// TestBrownoutThrottlesProbing: while browned out, a session probes at the
+// degraded cadence even if the underlying ladder is healthy — overload is
+// exactly when per-round supply probes should stop.
+func TestBrownoutThrottlesProbing(t *testing.T) {
+	h := NewHealthMonitor(HealthConfig{Window: 8, ProbeEvery: 4, BaseVisibility: 0.98}, critV)
+	feed(h, 8, true, 0.97)
+	h.SetBrownout(true)
+	probes := 0
+	for round := int64(0); round < 16; round++ {
+		if h.ShouldProbe(round) {
+			probes++
+		}
+	}
+	if probes != 4 {
+		t.Fatalf("browned-out monitor probed %d of 16 rounds, want 4", probes)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/serve"
 	"repro/internal/workload"
 	"repro/internal/xrand"
@@ -117,6 +118,17 @@ type Config struct {
 	// Sessions is how many independent sessions the load spreads over
 	// (default 4). Requests route uniformly at random.
 	Sessions int `json:"sessions"`
+	// DeadlineBudget, when positive, stamps every generated decide request
+	// with an absolute deadline of (scheduled arrival + budget). Delivered
+	// decisions are then split into in-deadline and late — goodput is
+	// in-deadline decisions per second — and an admission-enabled server
+	// may shed requests that cannot finish inside the budget. Zero leaves
+	// requests unstamped (every delivered decision counts as goodput).
+	DeadlineBudget time.Duration `json:"deadline_budget_ns,omitempty"`
+	// Admission, when non-nil, enables admission control on the virtual
+	// runner's in-process server (see serve.Config.Admission). Wall runs
+	// ignore it — the target daemon's own configuration governs.
+	Admission *admission.Config `json:"admission,omitempty"`
 	// SessionTemplate seeds each created session's parameters; ID and Seed
 	// are set per session by the harness.
 	SessionTemplate serve.SessionRequest `json:"-"`

@@ -21,14 +21,17 @@ type Quantiles struct {
 
 // ScenarioResult is one scenario's slice of the run.
 type ScenarioResult struct {
-	Name      string    `json:"name"`
-	Requests  int64     `json:"requests"`
-	Decisions int64     `json:"decisions"`
-	Wins      int64     `json:"wins"`
-	Errors    int64     `json:"errors"`
-	Retryable int64     `json:"retryable"`
-	Transport int64     `json:"transport"`
-	Latency   Quantiles `json:"latency"`
+	Name       string    `json:"name"`
+	Requests   int64     `json:"requests"`
+	Decisions  int64     `json:"decisions"`
+	Wins       int64     `json:"wins"`
+	Errors     int64     `json:"errors"`
+	Retryable  int64     `json:"retryable"`
+	Transport  int64     `json:"transport"`
+	Shed       int64     `json:"shed"`
+	InDeadline int64     `json:"in_deadline"`
+	Late       int64     `json:"late"`
+	Latency    Quantiles `json:"latency"`
 }
 
 // Result is one load-test run's report. In virtual mode every field is a
@@ -46,12 +49,23 @@ type Result struct {
 	// Errors are hard failures (4xx, transport-independent). Retryable
 	// counts drain-mode 503s; Transport counts connection-level failures
 	// (wall mode only — dial/reset errors while a server is going away).
+	// Shed counts requests the server rejected under admission control
+	// (429 / ShedError) — deliberate load-shedding, not failure.
 	Errors    int64 `json:"errors"`
 	Retryable int64 `json:"retryable"`
 	Transport int64 `json:"transport"`
+	Shed      int64 `json:"shed"`
+
+	// InDeadline and Late split delivered decisions against the plan's
+	// DeadlineBudget; with no budget every decision is in-deadline.
+	// GoodputPerSec is in-deadline decisions per second — the headline
+	// overload metric: shed and late work both fall out of it.
+	InDeadline int64 `json:"in_deadline"`
+	Late       int64 `json:"late"`
 
 	RequestsPerSec  float64 `json:"requests_per_sec"`
 	DecisionsPerSec float64 `json:"decisions_per_sec"`
+	GoodputPerSec   float64 `json:"goodput_per_sec"`
 	WinRate         float64 `json:"win_rate"`
 
 	Latency   Quantiles        `json:"latency"`
@@ -91,10 +105,19 @@ func newRecorder(names []string) *recorder {
 
 func (rec *recorder) request(scenario int) { rec.scen[scenario].Requests++ }
 
-func (rec *recorder) decision(scenario int, latencyNS int64, win bool) {
+// decision records one delivered decision. budgetNS classifies it against
+// the plan's deadline budget: zero (no budget) counts every decision as
+// in-deadline; otherwise a decision whose latency exceeds the budget is
+// late and falls out of goodput.
+func (rec *recorder) decision(scenario int, latencyNS int64, win bool, budgetNS int64) {
 	rec.scen[scenario].Decisions++
 	if win {
 		rec.scen[scenario].Wins++
+	}
+	if budgetNS > 0 && latencyNS > budgetNS {
+		rec.scen[scenario].Late++
+	} else {
+		rec.scen[scenario].InDeadline++
 	}
 	rec.perScen[scenario].Record(latencyNS)
 	rec.overall.Record(latencyNS)
@@ -115,6 +138,8 @@ func (rec *recorder) errorKind(scenario int, kind errKind) {
 		rec.scen[scenario].Retryable++
 	case errTransport:
 		rec.scen[scenario].Transport++
+	case errShed:
+		rec.scen[scenario].Shed++
 	default:
 		rec.scen[scenario].Errors++
 	}
@@ -126,6 +151,7 @@ const (
 	errHard errKind = iota
 	errRetryable
 	errTransport
+	errShed
 )
 
 // quantiles extracts the report summary from a histogram plus the exact sum.
@@ -162,6 +188,9 @@ func (rec *recorder) finish(mode string, cfg Config, elapsed time.Duration) *Res
 		res.Errors += sc.Errors
 		res.Retryable += sc.Retryable
 		res.Transport += sc.Transport
+		res.Shed += sc.Shed
+		res.InDeadline += sc.InDeadline
+		res.Late += sc.Late
 		sumNS += rec.sumNS[i]
 	}
 	res.Latency = quantiles(rec.overall, sumNS)
@@ -169,6 +198,7 @@ func (rec *recorder) finish(mode string, cfg Config, elapsed time.Duration) *Res
 		secs := elapsed.Seconds()
 		res.RequestsPerSec = float64(res.Requests) / secs
 		res.DecisionsPerSec = float64(res.Decisions) / secs
+		res.GoodputPerSec = float64(res.InDeadline) / secs
 	}
 	if res.Decisions > 0 {
 		res.WinRate = float64(res.Wins) / float64(res.Decisions)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"sync"
 	"time"
 
@@ -31,7 +32,10 @@ func RunVirtual(cfg Config) (*Result, error) {
 // RunVirtualPlan is RunVirtual for a pre-built plan.
 func RunVirtualPlan(plan *Plan) (*Result, error) {
 	now := virtualEpoch
-	srv := serve.NewServer(serve.Config{Clock: func() time.Time { return now }})
+	srv := serve.NewServer(serve.Config{
+		Clock:     func() time.Time { return now },
+		Admission: plan.Config.Admission,
+	})
 	defer srv.StopSessions()
 
 	for _, req := range plan.sessionRequests() {
@@ -53,6 +57,7 @@ func RunVirtualPlan(plan *Plan) (*Result, error) {
 		}
 	}
 	out := make([]serve.DecideResponse, maxBatch)
+	budget := plan.Config.DeadlineBudget
 
 	for _, req := range plan.sorted() {
 		now = virtualEpoch.Add(req.at)
@@ -65,12 +70,21 @@ func RunVirtualPlan(plan *Plan) (*Result, error) {
 			rec.poll(req.scenario, 0)
 			continue
 		}
-		if err := srv.DecideBatch(sessionID(req.session), req.rounds, out); err != nil {
+		// With a deadline budget each batch carries an absolute deadline of
+		// (scheduled arrival + budget); the admission gate may shed it.
+		var deadline time.Time
+		if budget > 0 {
+			deadline = now.Add(budget)
+		}
+		if err := srv.DecideBatchDeadline(sessionID(req.session), deadline, req.rounds, out); err != nil {
 			rec.errorKind(req.scenario, classify(err))
 			continue
 		}
 		for i := range req.rounds {
-			rec.decision(req.scenario, out[i].LatencyNS+out[i].WaitedNS, out[i].Win)
+			// Admission queueing (QueueNS) counts against the decision just
+			// like simulated propagation/wait time: it is latency the caller
+			// experienced before the answer arrived.
+			rec.decision(req.scenario, out[i].QueueNS+out[i].LatencyNS+out[i].WaitedNS, out[i].Win, int64(budget))
 		}
 	}
 	return rec.finish("virtual", plan.Config, plan.Config.Duration), nil
@@ -153,14 +167,20 @@ loop:
 		go func(req request) {
 			defer wg.Done()
 			scheduled := start.Add(req.at)
+			budget := plan.Config.DeadlineBudget
 			var err error
 			var results []serve.DecideResponse
 			info := plan.Scenarios[req.scenario].Info
 			if info {
 				_, err = c.Session(ctx, sessionID(req.session))
+			} else if budget > 0 {
+				results, err = c.DecideBatchDeadline(ctx, sessionID(req.session), scheduled.Add(budget), req.rounds)
 			} else {
 				results, err = c.DecideBatch(ctx, sessionID(req.session), req.rounds)
 			}
+			// Latency from the SCHEDULED arrival (coordinated-omission
+			// correction): a request that was shed and retried still counts
+			// its full shed-backoff-retry journey against the server.
 			lat := time.Since(scheduled).Nanoseconds()
 			mu.Lock()
 			defer mu.Unlock()
@@ -174,7 +194,7 @@ loop:
 				return
 			}
 			for i := range results {
-				rec.decision(req.scenario, lat, results[i].Win)
+				rec.decision(req.scenario, lat, results[i].Win, int64(budget))
 			}
 		}(req)
 	}
@@ -183,15 +203,24 @@ loop:
 	return rec.finish("wall", plan.Config, elapsed), nil
 }
 
-// classify sorts an error into the three result buckets: an HTTP error
-// response is Retryable (the drain-mode 503 contract) or a hard Error by
-// status; anything that never produced a status — a dial refused after the
+// classify sorts an error into the result buckets: admission rejections
+// (in-process ShedError or HTTP 429) are Shed — deliberate load-shedding,
+// checked before the generic retryable branch; other HTTP error responses
+// are Retryable (the drain-mode 503 contract) or a hard Error by status;
+// anything that never produced a status — a dial refused after the
 // listener closed, a reset keep-alive, a canceled context — is
 // transport-level shutdown noise, distinct from a server that answered
 // wrongly.
 func classify(err error) errKind {
+	var se *serve.ShedError
+	if errors.As(err, &se) {
+		return errShed
+	}
 	var ae *serve.APIError
 	if errors.As(err, &ae) {
+		if ae.Status == http.StatusTooManyRequests {
+			return errShed
+		}
 		if ae.Retryable() {
 			return errRetryable
 		}

@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTransportRetryIdempotentGET is the satellite-1 regression test: a
+// connection the server kills mid-exchange (hijack + close, the
+// killed-server scenario) must be retried transparently for idempotent
+// GETs — and must NOT be retried for POSTs, which may have executed before
+// the connection died.
+func TestTransportRetryIdempotentGET(t *testing.T) {
+	var getCalls, postCalls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if getCalls.Add(1) == 1 {
+			// Kill the connection before writing any response: the client
+			// observes EOF/reset with no way to know if we processed it.
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			conn.Close()
+			return
+		}
+		writeJSON(w, http.StatusOK, SessionInfo{ID: r.PathValue("id")})
+	})
+	mux.HandleFunc("POST /v1/decide", func(w http.ResponseWriter, r *http.Request) {
+		postCalls.Add(1)
+		conn, _, err := w.(http.Hijacker).Hijack()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		conn.Close()
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := NewRetryClient(ts.URL, nil, RetryConfig{Sleep: func(time.Duration) {}})
+	ctx := context.Background()
+
+	// The GET rides the retry: first attempt dies, second succeeds.
+	info, err := c.Session(ctx, "t-killed")
+	if err != nil {
+		t.Fatalf("GET after killed connection: %v", err)
+	}
+	if info.ID != "t-killed" {
+		t.Fatalf("retried GET decoded %+v", info)
+	}
+	if n := getCalls.Load(); n != 2 {
+		t.Fatalf("server saw %d GETs, want 2 (one kill, one retry)", n)
+	}
+	if st := c.Stats(); st.Retries != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 retry", st)
+	}
+
+	// The POST surfaces the transport error without a replay.
+	if _, err := c.Decide(ctx, "t-killed", 0, 0); err == nil {
+		t.Fatal("POST on killed connection must fail")
+	}
+	if n := postCalls.Load(); n != 1 {
+		t.Fatalf("server saw %d POSTs, want 1 (no replay)", n)
+	}
+	if st := c.Stats(); st.Retries != 1 {
+		t.Fatalf("POST was retried: %+v", st)
+	}
+
+	// A hard-down server (connection refused) is not a transient mid-read
+	// failure: no retry, the dial error surfaces.
+	down := httptest.NewServer(http.NotFoundHandler())
+	downURL := down.URL
+	down.Close()
+	c2 := NewRetryClient(downURL, nil, RetryConfig{Sleep: func(time.Duration) {}})
+	if _, err := c2.Session(ctx, "x"); err == nil {
+		t.Fatal("GET against closed server must fail")
+	}
+	if st := c2.Stats(); st.Retries != 0 {
+		t.Fatalf("dial failure was retried: %+v", st)
+	}
+}
+
+// TestRetryBudgetDuringFullShed is the retry-storm acceptance test: during
+// a scripted full-shed window (every request answered 429 + Retry-After: 1
+// — at the load-test arrival rate this models a multi-second brownout) the
+// token bucket must hold the sustained retry ratio at ≤ Budget, so the
+// offered load a shedding server sees stays ≤ 1.1× the no-retry baseline
+// (plus the one-time burst allowance). Backoffs are virtual (injected
+// sleep), making the whole schedule deterministic.
+func TestRetryBudgetDuringFullShed(t *testing.T) {
+	var offered atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		offered.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "serve: overloaded (shed: backlog)")
+	}))
+	defer ts.Close()
+
+	var sleptNS atomic.Int64
+	c := NewRetryClient(ts.URL, nil, RetryConfig{
+		MaxAttempts: 4,
+		StatusRetry: true,
+		Sleep:       func(d time.Duration) { sleptNS.Add(int64(d)) },
+		Rand:        func() float64 { return 0.5 },
+	})
+	ctx := context.Background()
+
+	const originals = 1000
+	for i := 0; i < originals; i++ {
+		_, err := c.Decide(ctx, "t-storm", i%2, 0)
+		var ae *APIError
+		if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests {
+			t.Fatalf("request %d: got %v, want 429", i, err)
+		}
+		if ae.RetryAfter != time.Second {
+			t.Fatalf("request %d: RetryAfter = %v, want 1s", i, ae.RetryAfter)
+		}
+	}
+
+	st := c.Stats()
+	if st.Requests != originals {
+		t.Fatalf("requests = %d, want %d", st.Requests, originals)
+	}
+	// Budget 0.1/request + Burst 10 seed bounds total retries.
+	maxRetries := int64(0.1*originals + 10 + 1)
+	if st.Retries > maxRetries {
+		t.Fatalf("retries = %d, want <= %d (budget breached)", st.Retries, maxRetries)
+	}
+	if st.Retries < originals/20 {
+		t.Fatalf("retries = %d — budget is over-suppressing (want >= %d)", st.Retries, originals/20)
+	}
+	if st.BudgetDenied == 0 {
+		t.Fatal("a full-shed window must exhaust the retry budget")
+	}
+	// The server's offered load is originals + retries — bounded by the
+	// 1.1× acceptance contract (plus the burst seed).
+	if got := offered.Load(); got != originals+st.Retries {
+		t.Fatalf("offered = %d, want %d", got, originals+st.Retries)
+	}
+	if got := offered.Load(); got > int64(1.1*originals)+10+1 {
+		t.Fatalf("offered load %d exceeds 1.1x no-retry baseline", got)
+	}
+	// Every backoff honored the server's Retry-After hint exactly.
+	if want := st.Retries * int64(time.Second); sleptNS.Load() != want {
+		t.Fatalf("slept %dns, want %dns (Retry-After not honored)", sleptNS.Load(), want)
+	}
+}
+
+// TestRetryBackoffJitter: without a Retry-After hint, retries back off
+// exponentially with jitter in [d/2, d).
+func TestRetryBackoffJitter(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// 503 with no Retry-After header.
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "draining"})
+	}))
+	defer ts.Close()
+
+	var sleeps []time.Duration
+	c := NewRetryClient(ts.URL, nil, RetryConfig{
+		MaxAttempts: 4,
+		StatusRetry: true,
+		BaseBackoff: 8 * time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+		Sleep:       func(d time.Duration) { sleeps = append(sleeps, d) },
+		Rand:        func() float64 { return 0.5 },
+	})
+	if _, err := c.Decide(context.Background(), "t-jitter", 0, 0); err == nil {
+		t.Fatal("all-503 server must fail the call")
+	}
+	// Attempts 1..3 back off 8ms, 16ms, then the 32ms doubling caps at
+	// 20ms; Rand=0.5 lands each at 3/4 of the nominal value.
+	want := []time.Duration{6 * time.Millisecond, 12 * time.Millisecond, 15 * time.Millisecond}
+	if len(sleeps) != len(want) {
+		t.Fatalf("sleeps = %v, want %d backoffs", sleeps, len(want))
+	}
+	for i := range want {
+		if sleeps[i] != want[i] {
+			t.Fatalf("backoff %d = %v, want %v", i, sleeps[i], want[i])
+		}
+	}
+}
+
+// TestHedgedSessionReads: with HedgeAfter set, a stalled info read fires a
+// second identical GET and the fast response wins; a fast read never
+// hedges.
+func TestHedgedSessionReads(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// First read stalls until the test ends (or the client gives
+			// up): the hedge must win long before.
+			select {
+			case <-release:
+			case <-r.Context().Done():
+				return
+			}
+		}
+		writeJSON(w, http.StatusOK, SessionInfo{ID: r.PathValue("id")})
+	})
+	ts := httptest.NewServer(mux)
+	defer func() {
+		close(release)
+		ts.Close()
+	}()
+
+	c := NewRetryClient(ts.URL, nil, RetryConfig{HedgeAfter: 2 * time.Millisecond})
+	ctx := context.Background()
+	done := make(chan struct{})
+	var info SessionInfo
+	var err error
+	go func() {
+		info, err = c.Session(ctx, "t-hedge")
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("hedged read did not complete")
+	}
+	if err != nil {
+		t.Fatalf("hedged read: %v", err)
+	}
+	if info.ID != "t-hedge" {
+		t.Fatalf("hedged read decoded %+v", info)
+	}
+	if st := c.Stats(); st.Hedges != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 hedge", st)
+	}
+
+	// A fast read with a generous hedge trigger never fires the hedge.
+	c2 := NewRetryClient(ts.URL, nil, RetryConfig{HedgeAfter: 5 * time.Second})
+	if _, err := c2.Session(ctx, "t-fast"); err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.Stats(); st.Hedges != 0 {
+		t.Fatalf("fast read hedged: %+v", st)
+	}
+}
+
+// TestAPIErrorRetryable pins the retryable-status contract: the drain 503
+// and the shed 429, nothing else.
+func TestAPIErrorRetryable(t *testing.T) {
+	cases := []struct {
+		status int
+		want   bool
+	}{
+		{http.StatusServiceUnavailable, true},
+		{http.StatusTooManyRequests, true},
+		{http.StatusNotFound, false},
+		{http.StatusBadRequest, false},
+		{http.StatusInternalServerError, false},
+	}
+	for _, tc := range cases {
+		e := &APIError{Status: tc.status}
+		if e.Retryable() != tc.want {
+			t.Fatalf("Retryable(%d) = %v, want %v", tc.status, e.Retryable(), tc.want)
+		}
+	}
+}

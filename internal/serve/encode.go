@@ -49,6 +49,7 @@ func getScratch() *decideScratch {
 	sc.req = DecideRequest{}
 	sc.breq.Session = ""
 	sc.breq.Rounds = sc.breq.Rounds[:0]
+	sc.breq.DeadlineUnixNS = 0
 	return sc
 }
 
@@ -191,6 +192,8 @@ func (r *DecideResponse) appendJSON(b []byte) []byte {
 	b = strconv.AppendInt(b, r.LatencyNS, 10)
 	b = append(b, `,"waited_ns":`...)
 	b = strconv.AppendInt(b, r.WaitedNS, 10)
+	b = append(b, `,"queue_ns":`...)
+	b = strconv.AppendInt(b, r.QueueNS, 10)
 	b = append(b, `,"win":`...)
 	b = appendBool(b, r.Win)
 	return append(b, '}')

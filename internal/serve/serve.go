@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/metrics"
 )
 
@@ -44,6 +45,19 @@ type Config struct {
 	// in-process load-test backend drives sessions on a virtual time axis,
 	// and decide-path tests stop racing the real clock.
 	Clock func() time.Time
+	// Admission, when non-nil, enables overload resilience on the decide
+	// paths: the adaptive concurrency limiter, the per-shard deadline
+	// gate, priority shedding and the load-driven brownout rung (see
+	// internal/admission). Nil preserves the pre-admission behavior
+	// exactly — every request is served, however late.
+	//
+	// Pipeline ordering is limiter → deadline gate → session lock: the
+	// limiter bounds handler concurrency before any admission math, the
+	// gate rejects requests that cannot finish in budget before they
+	// contend on the session's mutex, and only admitted requests touch
+	// session state. Drain checks precede all of it — a draining server
+	// answers 503 even for traffic admission would accept.
+	Admission *admission.Config
 }
 
 // Sentinel errors for the in-process decision API (the HTTP handlers map
@@ -57,6 +71,26 @@ var (
 	// errBodyTooLarge guards the pooled read buffers against abuse.
 	errBodyTooLarge = errors.New("serve: request body too large")
 )
+
+// ShedError reports a decide request rejected by admission control. Like
+// ErrDraining it is retryable — the server did no session work for it —
+// and the HTTP handlers map it onto 429 Too Many Requests with a
+// Retry-After hint.
+type ShedError struct {
+	// Outcome is the shed reason (deadline, priority, backlog, limiter,
+	// expired).
+	Outcome admission.Outcome
+	// RetryAfter suggests when the modeled backlog will have drained.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("serve: overloaded (shed: %s)", e.Outcome)
+}
+
+// Retryable marks the error as safe to retry after backoff.
+func (e *ShedError) Retryable() bool { return true }
 
 // maxBodyBytes bounds a decide request body (a 4096-round batch is ~64 KiB;
 // the limit leaves ample headroom without letting a client balloon the
@@ -79,6 +113,7 @@ type Server struct {
 	mask     uint64
 	reg      *metrics.Registry
 	clock    func() time.Time
+	adm      *admission.Controller // nil = admission disabled
 	draining atomic.Bool
 	inflight atomic.Int64 // decisions currently executing
 	nextID   atomic.Uint64
@@ -91,6 +126,8 @@ type Server struct {
 	mDrainRejects *metrics.Counter
 	mDecideTimer  *metrics.Timer
 	mBatchTimer   *metrics.Timer
+	mGoodput      *metrics.Timer   // in-deadline decision latency
+	mLate         *metrics.Counter // decisions delivered past their deadline
 }
 
 // NewServer builds a ready-to-mount server.
@@ -125,6 +162,13 @@ func NewServer(cfg Config) *Server {
 		mDrainRejects: reg.Counter("serve_drain_rejected_total"),
 		mDecideTimer:  reg.Timer("serve_decide"),
 		mBatchTimer:   reg.Timer("serve_decide_batch"),
+		mGoodput:      reg.Timer("serve_goodput"),
+		mLate:         reg.Counter("serve_late_total"),
+	}
+	if cfg.Admission != nil {
+		// One admission gate per session shard: the gate's virtual queue
+		// models exactly the state the shard's sessions contend on.
+		s.adm = admission.NewController(*cfg.Admission, w)
 	}
 	for i := range s.shards {
 		s.shards[i] = &shard{sessions: make(map[string]*session)}
@@ -160,6 +204,14 @@ func fnv64a(s string) uint64 {
 func (s *Server) shardFor(id string) *shard {
 	return s.shards[fnv64a(id)&s.mask]
 }
+
+// shardIndex is shardFor as an index, for the admission gates.
+func (s *Server) shardIndex(id string) int {
+	return int(fnv64a(id) & s.mask)
+}
+
+// Admission returns the server's admission controller (nil when disabled).
+func (s *Server) Admission() *admission.Controller { return s.adm }
 
 // lookup resolves a session ID, or nil.
 func (s *Server) lookup(id string) *session {
@@ -200,6 +252,28 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 func writeDraining(w http.ResponseWriter) {
 	w.Header().Set("Retry-After", "1")
 	writeError(w, http.StatusServiceUnavailable, "server is draining")
+}
+
+// writeShed answers a request rejected by admission control: 429 with
+// Retry-After (whole seconds, rounded up, minimum 1 — the header has no
+// sub-second resolution). Clients treat it exactly like the drain 503:
+// retryable, after backoff.
+func writeShed(w http.ResponseWriter, e *ShedError) {
+	secs := int64(1)
+	if e.RetryAfter > time.Second {
+		secs = int64((e.RetryAfter + time.Second - 1) / time.Second)
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeError(w, http.StatusTooManyRequests, "%v", e)
+}
+
+// deadlineOf maps a wire deadline (UnixNano, 0 = unstamped) onto the
+// admission layer's absolute form.
+func deadlineOf(unixNS int64) time.Time {
+	if unixNS == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, unixNS)
 }
 
 // writeRaw sends a pre-encoded JSON body (the append-encoder output) with a
@@ -246,6 +320,15 @@ func (s *Server) CreateSession(req SessionRequest) (SessionInfo, error) {
 // rests on. The response lands in *out (caller-owned, reusable). Drain
 // semantics match the HTTP handler: ErrDraining is the retryable signal.
 func (s *Server) Decide(session string, x, y int, out *DecideResponse) error {
+	return s.DecideDeadline(session, time.Time{}, x, y, out)
+}
+
+// DecideDeadline is Decide with an absolute deadline: with admission
+// control enabled, a request whose modeled queue+service time exceeds the
+// remaining budget returns a retryable *ShedError instead of being served
+// late. A zero deadline means unstamped. The admission-enabled path stays
+// allocation-free on accept.
+func (s *Server) DecideDeadline(session string, deadline time.Time, x, y int, out *DecideResponse) error {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 	if s.draining.Load() {
@@ -256,10 +339,32 @@ func (s *Server) Decide(session string, x, y int, out *DecideResponse) error {
 	if sess == nil {
 		return ErrNoSession
 	}
-	if err := sess.decideAt(s.clock(), x, y, out); err != nil {
+	var queueNS int64
+	var brownout bool
+	start := s.clock()
+	if s.adm != nil {
+		lim := s.adm.Limiter()
+		if !lim.TryAcquire() {
+			return errShedLimiter
+		}
+		idx := s.shardIndex(session)
+		dec := s.adm.Admit(idx, start, deadline, sess.priority, 1)
+		if !dec.OK {
+			lim.Release(0, nil)
+			return shedError(dec)
+		}
+		queueNS, brownout = dec.QueueNS, dec.Brownout
+		defer func() {
+			elapsed := s.clock().Sub(start)
+			s.adm.Observe(idx, elapsed)
+			lim.Release(elapsed, s.clock)
+		}()
+	}
+	if err := sess.decideAt(start, x, y, out, queueNS, brownout); err != nil {
 		s.mDecideErrs.Inc()
 		return err
 	}
+	s.accountDeadline(start, deadline, out)
 	s.mDecisions.Inc()
 	return nil
 }
@@ -268,6 +373,13 @@ func (s *Server) Decide(session string, x, y int, out *DecideResponse) error {
 // out must have at least len(rounds) elements; results land in request
 // order in out[:len(rounds)].
 func (s *Server) DecideBatch(session string, rounds []Round, out []DecideResponse) error {
+	return s.DecideBatchDeadline(session, time.Time{}, rounds, out)
+}
+
+// DecideBatchDeadline is DecideBatch with an absolute deadline shared by
+// the whole batch (it arrives, queues and plays together); see
+// DecideDeadline.
+func (s *Server) DecideBatchDeadline(session string, deadline time.Time, rounds []Round, out []DecideResponse) error {
 	if len(rounds) == 0 {
 		return fmt.Errorf("empty batch")
 	}
@@ -284,13 +396,60 @@ func (s *Server) DecideBatch(session string, rounds []Round, out []DecideRespons
 	if sess == nil {
 		return ErrNoSession
 	}
-	if err := sess.decideBatchAt(s.clock(), rounds, out[:len(rounds)]); err != nil {
+	var queueNS int64
+	var brownout bool
+	start := s.clock()
+	if s.adm != nil {
+		lim := s.adm.Limiter()
+		if !lim.TryAcquire() {
+			return errShedLimiter
+		}
+		idx := s.shardIndex(session)
+		dec := s.adm.Admit(idx, start, deadline, sess.priority, len(rounds))
+		if !dec.OK {
+			lim.Release(0, nil)
+			return shedError(dec)
+		}
+		queueNS, brownout = dec.QueueNS, dec.Brownout
+		defer func() {
+			elapsed := s.clock().Sub(start)
+			s.adm.Observe(idx, elapsed/time.Duration(len(rounds)))
+			lim.Release(elapsed, s.clock)
+		}()
+	}
+	if err := sess.decideBatchAt(start, rounds, out[:len(rounds)], queueNS, brownout); err != nil {
 		s.mDecideErrs.Inc()
 		return err
+	}
+	for i := range rounds {
+		s.accountDeadline(start, deadline, &out[i])
 	}
 	s.mDecisions.Add(int64(len(rounds)))
 	s.mBatches.Inc()
 	return nil
+}
+
+// errShedLimiter is the preallocated limiter rejection so the in-process
+// fast path sheds without allocating.
+var errShedLimiter = &ShedError{Outcome: admission.ShedLimiter}
+
+// shedError maps a rejected admission decision onto a *ShedError.
+func shedError(dec admission.Decision) *ShedError {
+	return &ShedError{Outcome: dec.Outcome, RetryAfter: dec.RetryAfter}
+}
+
+// accountDeadline classifies one delivered decision against its deadline:
+// in-deadline decisions feed the goodput timer, late ones the late
+// counter. The modeled latency is queue wait + decision latency + supply
+// wait — the same sum the loadtest harness records. Unstamped requests are
+// goodput by definition.
+func (s *Server) accountDeadline(now time.Time, deadline time.Time, out *DecideResponse) {
+	total := time.Duration(out.QueueNS + out.LatencyNS + out.WaitedNS)
+	if !deadline.IsZero() && now.Add(total).After(deadline) {
+		s.mLate.Inc()
+		return
+	}
+	s.mGoodput.Observe(total)
 }
 
 // Info reports a session's health in-process (the load-test harness's
@@ -379,12 +538,42 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no session %q", sc.req.Session)
 		return
 	}
+	// Admission pipeline: limiter → deadline gate → session lock. The
+	// limiter sits after the body read deliberately — a slow client
+	// trickling its request body occupies only its connection goroutine,
+	// never a concurrency slot.
+	deadline := deadlineOf(sc.req.DeadlineUnixNS)
+	var queueNS int64
+	var brownout bool
 	start := s.clock()
-	if err := sess.decideAt(start, sc.req.X, sc.req.Y, &sc.resp); err != nil {
+	if s.adm != nil {
+		lim := s.adm.Limiter()
+		if o := lim.Acquire(s.clock, deadline); o != admission.Accepted {
+			writeShed(w, &ShedError{Outcome: o})
+			return
+		}
+		idx := s.shardIndex(sc.req.Session)
+		now := s.clock() // re-read: the limiter queue may have held us
+		dec := s.adm.Admit(idx, now, deadline, sess.priority, 1)
+		if !dec.OK {
+			lim.Release(0, nil)
+			writeShed(w, shedError(dec))
+			return
+		}
+		queueNS, brownout = dec.QueueNS, dec.Brownout
+		start = now
+		defer func() {
+			elapsed := s.clock().Sub(start)
+			s.adm.Observe(idx, elapsed)
+			lim.Release(elapsed, s.clock)
+		}()
+	}
+	if err := sess.decideAt(start, sc.req.X, sc.req.Y, &sc.resp, queueNS, brownout); err != nil {
 		s.mDecideErrs.Inc()
 		writeError(w, http.StatusBadRequest, "decide: %v", err)
 		return
 	}
+	s.accountDeadline(start, deadline, &sc.resp)
 	s.mDecideTimer.Observe(s.clock().Sub(start))
 	s.mDecisions.Inc()
 	sc.out = sc.resp.appendJSON(sc.out[:0])
@@ -423,12 +612,43 @@ func (s *Server) handleDecideBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no session %q", sc.breq.Session)
 		return
 	}
-	results := sc.results(len(sc.breq.Rounds))
+	// Admission pipeline: limiter → deadline gate → session lock (the
+	// same ordering as handleDecide; the whole batch is one admission
+	// unit costed at len(rounds) service quanta).
+	deadline := deadlineOf(sc.breq.DeadlineUnixNS)
+	var queueNS int64
+	var brownout bool
 	start := s.clock()
-	if err := sess.decideBatchAt(start, sc.breq.Rounds, results); err != nil {
+	if s.adm != nil {
+		lim := s.adm.Limiter()
+		if o := lim.Acquire(s.clock, deadline); o != admission.Accepted {
+			writeShed(w, &ShedError{Outcome: o})
+			return
+		}
+		idx := s.shardIndex(sc.breq.Session)
+		now := s.clock()
+		dec := s.adm.Admit(idx, now, deadline, sess.priority, len(sc.breq.Rounds))
+		if !dec.OK {
+			lim.Release(0, nil)
+			writeShed(w, shedError(dec))
+			return
+		}
+		queueNS, brownout = dec.QueueNS, dec.Brownout
+		start = now
+		defer func() {
+			el := s.clock().Sub(start)
+			s.adm.Observe(idx, el/time.Duration(len(sc.breq.Rounds)))
+			lim.Release(el, s.clock)
+		}()
+	}
+	results := sc.results(len(sc.breq.Rounds))
+	if err := sess.decideBatchAt(start, sc.breq.Rounds, results, queueNS, brownout); err != nil {
 		s.mDecideErrs.Inc()
 		writeError(w, http.StatusBadRequest, "decide: %v", err)
 		return
+	}
+	for i := range results {
+		s.accountDeadline(start, deadline, &results[i])
 	}
 	elapsed := s.clock().Sub(start)
 	s.mBatchTimer.Observe(elapsed)

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/entangle"
 	"repro/internal/faults"
@@ -49,6 +50,11 @@ type SessionRequest struct {
 	// attempts (default 16 — small enough that a serving session reacts to a
 	// supply fault within a few milliseconds of decisions).
 	HealthWindow int `json:"health_window,omitempty"`
+	// Priority is the session's shedding tier under overload: "high",
+	// "normal" (default) or "low". Admission control sheds low first,
+	// then normal; high-priority traffic is protected until the hard
+	// backlog cap, with the brownout rung engaging in between.
+	Priority string `json:"priority,omitempty"`
 	// Faults optionally scripts a deterministic fault timeline against the
 	// session's supply chain (times are relative to session creation).
 	Faults []FaultWindow `json:"faults,omitempty"`
@@ -73,6 +79,12 @@ type DecideRequest struct {
 	Session string `json:"session"`
 	X       int    `json:"x"`
 	Y       int    `json:"y"`
+	// DeadlineUnixNS is the absolute deadline (UnixNano) by which the
+	// decision must be delivered to still be useful. Zero means unstamped.
+	// When admission control is enabled, a request whose modeled
+	// queue+service time exceeds the remaining budget is rejected
+	// immediately with a retryable 429 instead of being served late.
+	DeadlineUnixNS int64 `json:"deadline_unix_ns,omitempty"`
 }
 
 // Round is one (x, y) input pair inside a batched decide request.
@@ -89,6 +101,9 @@ type Round struct {
 type DecideBatchRequest struct {
 	Session string  `json:"session"`
 	Rounds  []Round `json:"rounds"`
+	// DeadlineUnixNS: see DecideRequest. The whole batch shares one
+	// deadline — it arrives, queues and plays together.
+	DeadlineUnixNS int64 `json:"deadline_unix_ns,omitempty"`
 }
 
 // DecideBatchResponse carries one DecideResponse per requested round, in
@@ -109,7 +124,12 @@ type DecideResponse struct {
 	Visibility float64 `json:"visibility"`
 	LatencyNS  int64   `json:"latency_ns"`
 	WaitedNS   int64   `json:"waited_ns"`
-	Win        bool    `json:"win"`
+	// QueueNS is the modeled admission-queue wait ahead of this decision
+	// (0 with admission control disabled). Deadline accounting sums
+	// QueueNS + LatencyNS + WaitedNS — the queueing delay a frozen
+	// virtual clock cannot measure directly.
+	QueueNS int64 `json:"queue_ns"`
+	Win     bool  `json:"win"`
 }
 
 // SessionInfo is the GET /v1/sessions/{id} body: identity, degradation rung
@@ -123,6 +143,11 @@ type SessionInfo struct {
 	Visibility  float64 `json:"visibility"`
 	SupplyRate  float64 `json:"supply_rate"`
 	Transitions int64   `json:"transitions"`
+	// Priority is the session's provisioned shedding tier.
+	Priority string `json:"priority"`
+	// Brownout reports whether the session is currently held at the
+	// load-driven classical rung by admission control.
+	Brownout bool `json:"brownout"`
 
 	Rounds         int64   `json:"rounds"`
 	QuantumRounds  int64   `json:"quantum_rounds"`
@@ -175,6 +200,7 @@ type session struct {
 	id        string
 	gameName  string
 	endpoints []string
+	priority  admission.Priority // immutable after creation
 	created   time.Time
 	// simNow is the session's virtual clock: advanced by wall-clock deltas
 	// capped at maxAdvancePerStep, so it tracks real time when the host
@@ -251,6 +277,10 @@ func newSession(id string, req SessionRequest, now time.Time) (*session, error) 
 	if err != nil {
 		return nil, err
 	}
+	prio, err := admission.ParsePriority(req.Priority)
+	if err != nil {
+		return nil, err
+	}
 
 	src := entangle.DefaultSource()
 	src.PairRate = defaultPairRate
@@ -306,6 +336,7 @@ func newSession(id string, req SessionRequest, now time.Time) (*session, error) 
 		id:         id,
 		gameName:   game.Name,
 		endpoints:  append([]string(nil), req.Endpoints...),
+		priority:   prio,
 		created:    now,
 		lastWall:   now,
 		engine:     engine,
@@ -373,15 +404,28 @@ func (s *session) fill(out *DecideResponse, x, y int, d core.Decision) {
 // the response into *out (caller-owned, typically pooled). The lock covers
 // only the engine catch-up and the round itself; validation and response
 // encoding happen outside it.
-func (s *session) decideAt(wall time.Time, x, y int, out *DecideResponse) error {
+//
+// queueNS and brownout come from the admission decision that let the
+// request through (0/false with admission disabled). While browned out the
+// session plays core.BrownoutRound — the cheap best-classical strategy
+// with no engine catch-up, no supply probe and no pool consumption — so
+// sustained overload sheds compute before it sheds high-priority traffic.
+func (s *session) decideAt(wall time.Time, x, y int, out *DecideResponse, queueNS int64, brownout bool) error {
 	if err := s.checkInputs(x, y); err != nil {
 		return err
 	}
 	s.mu.Lock()
-	now := s.advanceAt(wall)
-	d := s.core.Round(now, x, y)
+	s.core.Health().SetBrownout(brownout)
+	var d core.Decision
+	if brownout {
+		d = s.core.BrownoutRound(x, y)
+	} else {
+		now := s.advanceAt(wall)
+		d = s.core.Round(now, x, y)
+	}
 	s.mu.Unlock()
 	s.fill(out, x, y, d)
+	out.QueueNS = queueNS
 	return nil
 }
 
@@ -390,17 +434,28 @@ func (s *session) decideAt(wall time.Time, x, y int, out *DecideResponse) error 
 // out must have len(rounds) elements; results land in request order. On an
 // input-validation error nothing is played (all-or-nothing, so a client
 // never has to guess which prefix executed).
-func (s *session) decideBatchAt(wall time.Time, rounds []Round, out []DecideResponse) error {
+func (s *session) decideBatchAt(wall time.Time, rounds []Round, out []DecideResponse, queueNS int64, brownout bool) error {
 	for i := range rounds {
 		if err := s.checkInputs(rounds[i].X, rounds[i].Y); err != nil {
 			return fmt.Errorf("round %d: %w", i, err)
 		}
 	}
 	s.mu.Lock()
+	s.core.Health().SetBrownout(brownout)
+	if brownout {
+		for i := range rounds {
+			d := s.core.BrownoutRound(rounds[i].X, rounds[i].Y)
+			s.fill(&out[i], rounds[i].X, rounds[i].Y, d)
+			out[i].QueueNS = queueNS
+		}
+		s.mu.Unlock()
+		return nil
+	}
 	now := s.advanceAt(wall)
 	for i := range rounds {
 		d := s.core.Round(now, rounds[i].X, rounds[i].Y)
 		s.fill(&out[i], rounds[i].X, rounds[i].Y, d)
+		out[i].QueueNS = queueNS
 	}
 	s.mu.Unlock()
 	return nil
@@ -436,6 +491,8 @@ func (s *session) info(draining bool, wall time.Time) SessionInfo {
 		Visibility:         h.Visibility(),
 		SupplyRate:         h.SupplyRate(),
 		Transitions:        h.Transitions(),
+		Priority:           s.priority.String(),
+		Brownout:           h.Brownout(),
 		Rounds:             st.Rounds,
 		QuantumRounds:      st.QuantumRounds,
 		FallbackRounds:     st.FallbackRounds,
